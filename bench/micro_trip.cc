@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Microbenchmarks of the Trip store and stealth caches: these run on
+ * the Toleo device's simple in-order core in hardware, so software
+ * throughput here bounds how fast the simulated device model can be
+ * driven.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "toleo/device.hh"
+#include "toleo/stealth_cache.hh"
+#include "toleo/trip.hh"
+
+using namespace toleo;
+
+static void
+BM_TripUpdateUniform(benchmark::State &state)
+{
+    TripConfig cfg;
+    TripStore store(cfg);
+    BlockNum blk = 0;
+    for (auto _ : state) {
+        auto r = store.update(blk);
+        benchmark::DoNotOptimize(r);
+        blk = (blk + 1) % (1 << 20);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripUpdateUniform);
+
+static void
+BM_TripUpdateIrregular(benchmark::State &state)
+{
+    TripConfig cfg;
+    TripStore store(cfg);
+    Rng rng(3);
+    for (auto _ : state) {
+        auto r = store.update(rng.nextBounded(1 << 18));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripUpdateIrregular);
+
+static void
+BM_TripReadVersion(benchmark::State &state)
+{
+    TripConfig cfg;
+    TripStore store(cfg);
+    for (BlockNum b = 0; b < 4096; ++b)
+        store.update(b);
+    BlockNum blk = 0;
+    for (auto _ : state) {
+        auto v = store.fullVersion(blk);
+        benchmark::DoNotOptimize(v);
+        blk = (blk + 1) % 4096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripReadVersion);
+
+static void
+BM_StealthCacheLookup(benchmark::State &state)
+{
+    StealthCache sc({});
+    Rng rng(9);
+    for (auto _ : state) {
+        auto r = sc.access(rng.nextBounded(1 << 16), TripFormat::Flat,
+                           false);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StealthCacheLookup);
+
+static void
+BM_DeviceUpdatePath(benchmark::State &state)
+{
+    ToleoDeviceConfig cfg;
+    cfg.capacityBytes = 4ULL * GiB;
+    cfg.protectedBytes = 256ULL * GiB;
+    ToleoDevice dev(cfg);
+    Rng rng(11);
+    for (auto _ : state) {
+        auto r = dev.update(rng.nextBounded(1 << 20));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceUpdatePath);

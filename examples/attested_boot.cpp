@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Boot-time protocol walkthrough (Sections 3.1, 4.1): the host
+ * attests the Toleo device via TDISP, derives the IDE session key,
+ * and carries version traffic over the protected channel -- then the
+ * same flow against a counterfeit device and a man-in-the-middle.
+ *
+ *     ./build/examples/attested_boot
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "toleo/attestation.hh"
+#include "toleo/device.hh"
+#include "toleo/ide_channel.hh"
+
+using namespace toleo;
+
+namespace {
+
+AesKey
+keyFrom(std::uint64_t seed)
+{
+    Rng rng(seed);
+    AesKey k{};
+    for (auto &b : k)
+        b = static_cast<std::uint8_t>(rng.next());
+    return k;
+}
+
+Bytes
+encodeStealth(std::uint64_t stealth)
+{
+    Bytes b(16, 0);
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(stealth >> (8 * i));
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    const AesKey ek = keyFrom(0xE1);
+    const std::uint64_t dev_id = 0x70;
+
+    std::printf("1. TDISP attestation\n");
+    DeviceIdentity device_ep(ek, dev_id);
+    HostVerifier host(ek, dev_id);
+
+    const auto challenge = host.challenge();
+    const auto response = device_ep.attest(challenge);
+    const auto session = host.verify(response);
+    std::printf("   genuine device:    %s\n",
+                session ? "ATTESTED, session key derived" : "** rejected **");
+
+    {
+        DeviceIdentity fake(keyFrom(0xBAD), dev_id);
+        const auto bad = fake.attest(host.challenge());
+        std::printf("   counterfeit:       %s\n",
+                    host.verify(bad) ? "** accepted **" : "rejected");
+    }
+
+    std::printf("\n2. IDE channel (skid mode) carries stealth versions\n");
+    ToleoDeviceConfig dcfg;
+    dcfg.capacityBytes = 1 * GiB;
+    dcfg.protectedBytes = 64 * GiB;
+    ToleoDevice device(dcfg);
+
+    IdeStream dev_tx(*session, /*skid=*/4), host_rx(*session, 4);
+
+    // Host writes a block; device returns the new stealth version
+    // over the encrypted link.
+    auto upd = device.update(0x40);
+    auto flit = dev_tx.send(encodeStealth(upd.version));
+    auto got = host_rx.receive(flit);
+    std::printf("   version delivered: %s\n",
+                got && *got == encodeStealth(upd.version) ? "yes"
+                                                          : "** no **");
+
+    // Same stealth version resent: ciphertext differs (the property
+    // that makes short stealth versions safe, Section 4.2).
+    auto flit2 = dev_tx.send(encodeStealth(upd.version));
+    std::printf("   non-deterministic: %s\n",
+                flit.cipher != flit2.cipher ? "yes (no value leak)"
+                                            : "** leak **");
+    (void)host_rx.receive(flit2);
+
+    // A man-in-the-middle replays an old flit.  In skid mode the
+    // payload may be released, but the deferred check poisons the
+    // stream within the skid window -- drain it and observe.
+    (void)host_rx.receive(flit);
+    for (int i = 0; i < 4 && !host_rx.poisoned(); ++i)
+        (void)host_rx.receive(dev_tx.send(encodeStealth(i)));
+    std::printf("   flit replay:       %s\n",
+                host_rx.poisoned() ? "poisoned within skid window"
+                                   : "** accepted **");
+
+    std::printf("\nsee tests/test_attestation.cc and "
+                "tests/test_ide_channel.cc for the assert-backed "
+                "versions\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: protect a memory region with Toleo in ~30 lines.
+ *
+ * Builds a functional Toleo-protected memory (real AES-XTS, real
+ * MACs, real version tracking in the simulated PIM device), writes
+ * and reads data, and shows that a replayed stale value is caught.
+ *
+ *     ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "toleo/secure_memory.hh"
+
+using namespace toleo;
+
+int
+main()
+{
+    // 1. Provision a Toleo device: 168 GB of trusted smart memory
+    //    protecting a (here: scaled-down) conventional-memory pool.
+    ToleoDeviceConfig dev_cfg;
+    dev_cfg.capacityBytes = 1 * GiB;
+    dev_cfg.protectedBytes = 64 * GiB;
+    ToleoDevice device(dev_cfg);
+
+    // 2. Attach a secure memory to it (keys would come from
+    //    attestation + TDISP key exchange in a real deployment).
+    AesKey data_key{}, tweak_key{}, mac_key{};
+    data_key[0] = 1;
+    tweak_key[0] = 2;
+    mac_key[0] = 3;
+    SecureMemory mem(device, data_key, tweak_key, mac_key);
+
+    // 3. Use it like memory.
+    Bytes secret(blockSize, 0x42);
+    mem.write(0x1000, secret);
+    auto loaded = mem.read(0x1000);
+    std::printf("read-after-write ok:   %s\n",
+                loaded && *loaded == secret ? "yes" : "NO");
+
+    // 4. An adversary with physical access records the bus...
+    auto recorded = mem.snoop(0x1000);
+
+    // ...the program overwrites the secret...
+    Bytes updated(blockSize, 0x43);
+    mem.write(0x1000, updated);
+
+    // ...and the adversary replays the stale ciphertext+MAC+UV.
+    mem.inject(0x1000, recorded);
+    auto replayed = mem.read(0x1000);
+    std::printf("replay detected:       %s\n",
+                !replayed && mem.killed() ? "yes (kill switch)" : "NO");
+
+    // 5. The device state behind it all:
+    std::printf("device: %llu pages tracked, %llu updates, "
+                "%llu B in use\n",
+                static_cast<unsigned long long>(
+                    device.store().touchedPages()),
+                static_cast<unsigned long long>(
+                    device.store().updates()),
+                static_cast<unsigned long long>(device.usageBytes()));
+    return 0;
+}

@@ -1,0 +1,141 @@
+#include "cache/hierarchy.hh"
+
+namespace toleo {
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg.numCores == 0)
+        panic("CacheHierarchy: zero cores");
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        l1_.push_back(SetAssocCache::fromCapacity(cfg.l1Bytes, blockSize,
+                                                  cfg.l1Assoc));
+        l2_.push_back(SetAssocCache::fromCapacity(cfg.l2Bytes, blockSize,
+                                                  cfg.l2Assoc));
+    }
+    const unsigned slices =
+        (cfg.numCores + cfg.coresPerL3Slice - 1) / cfg.coresPerL3Slice;
+    for (unsigned s = 0; s < slices; ++s)
+        l3_.push_back(SetAssocCache::fromCapacity(cfg.l3SliceBytes,
+                                                  blockSize, cfg.l3Assoc));
+}
+
+SetAssocCache &
+CacheHierarchy::l3SliceFor(unsigned core)
+{
+    return l3_[core / cfg_.coresPerL3Slice];
+}
+
+const SetAssocCache &
+CacheHierarchy::l3SliceFor(unsigned core) const
+{
+    return l3_[core / cfg_.coresPerL3Slice];
+}
+
+HierarchyResult
+CacheHierarchy::access(unsigned core, BlockNum blk, bool is_write)
+{
+    if (core >= cfg_.numCores)
+        panic("CacheHierarchy: core %u out of range", core);
+
+    HierarchyResult res;
+    res.onChipLatency = cfg_.l1Latency;
+
+    auto r1 = l1_[core].access(blk, is_write);
+    if (r1.hit) {
+        res.servedBy = 1;
+        return res;
+    }
+    // A dirty L1 victim merges into L2 if resident there, otherwise
+    // (non-inclusive hierarchy) it spills straight to memory.
+    if (r1.writebackTag) {
+        if (l2_[core].contains(*r1.writebackTag))
+            l2_[core].markDirty(*r1.writebackTag);
+        else if (l3SliceFor(core).contains(*r1.writebackTag))
+            l3SliceFor(core).markDirty(*r1.writebackTag);
+        else
+            res.memWritebacks.push_back(*r1.writebackTag);
+    }
+
+    // Lower levels fill *clean*: the dirty bit lives in L1 and
+    // travels down on eviction, so each store produces exactly one
+    // eventual memory writeback.
+    res.onChipLatency += cfg_.l2Latency;
+    auto r2 = l2_[core].access(blk, false);
+    if (r2.hit) {
+        res.servedBy = 2;
+        return res;
+    }
+    if (r2.writebackTag) {
+        if (l3SliceFor(core).contains(*r2.writebackTag))
+            l3SliceFor(core).markDirty(*r2.writebackTag);
+        else
+            res.memWritebacks.push_back(*r2.writebackTag);
+    }
+
+    res.onChipLatency += cfg_.l3Latency;
+    auto r3 = l3SliceFor(core).access(blk, false);
+    if (r3.hit) {
+        res.servedBy = 3;
+        return res;
+    }
+
+    res.servedBy = 4;
+    res.llcMiss = true;
+    if (r3.writebackTag)
+        res.memWritebacks.push_back(*r3.writebackTag);
+    return res;
+}
+
+std::uint64_t
+CacheHierarchy::llcHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &slice : l3_)
+        n += slice.hits();
+    return n;
+}
+
+std::uint64_t
+CacheHierarchy::llcMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &slice : l3_)
+        n += slice.misses();
+    return n;
+}
+
+std::uint64_t
+CacheHierarchy::llcAccesses() const
+{
+    return llcHits() + llcMisses();
+}
+
+double
+CacheHierarchy::llcMissRate() const
+{
+    const auto total = llcAccesses();
+    return total ? static_cast<double>(llcMisses()) / total : 0.0;
+}
+
+std::uint64_t
+CacheHierarchy::llcWritebacks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &slice : l3_)
+        n += slice.writebacks();
+    return n;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto &c : l1_)
+        c.resetStats();
+    for (auto &c : l2_)
+        c.resetStats();
+    for (auto &c : l3_)
+        c.resetStats();
+}
+
+} // namespace toleo

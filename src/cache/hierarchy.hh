@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Three-level data-cache hierarchy matching the simulated node
+ * (Table 3): per-core 32 KB L1-D and 1 MB L2, and a 16 MB L3 slice
+ * shared by every 8 cores.  The hierarchy consumes block-level
+ * references from the cores and emits LLC misses and dirty writebacks
+ * to the memory system / protection engine.
+ */
+
+#ifndef TOLEO_CACHE_HIERARCHY_HH
+#define TOLEO_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "common/types.hh"
+
+namespace toleo {
+
+/** Configuration of the data hierarchy. */
+struct CacheHierarchyConfig
+{
+    unsigned numCores = 32;
+    unsigned coresPerL3Slice = 8;
+    std::uint64_t l1Bytes = 32 * KiB;
+    unsigned l1Assoc = 8;
+    std::uint64_t l2Bytes = 1 * MiB;
+    unsigned l2Assoc = 16;
+    std::uint64_t l3SliceBytes = 16 * MiB;
+    unsigned l3Assoc = 16;
+    Cycles l1Latency = 4;
+    Cycles l2Latency = 14;
+    Cycles l3Latency = 49;
+};
+
+/** What the hierarchy asks the memory system to do for one access. */
+struct HierarchyResult
+{
+    /** Level that served the access: 1, 2, 3, or 4 (= memory). */
+    unsigned servedBy = 1;
+    /** On-chip lookup latency accumulated before leaving the chip. */
+    Cycles onChipLatency = 0;
+    /** LLC miss: a block must be fetched from memory. */
+    bool llcMiss = false;
+    /**
+     * Dirty blocks leaving the chip this access: the LLC victim,
+     * and/or dirty upper-level victims spilling past a
+     * non-inclusive lower level straight to memory.
+     */
+    std::vector<BlockNum> memWritebacks;
+};
+
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const CacheHierarchyConfig &cfg);
+
+    /**
+     * Run one load/store from a core through L1 -> L2 -> L3.
+     * @param core Issuing core id.
+     * @param blk Cache-block number accessed.
+     * @param is_write Store (marks lines dirty).
+     */
+    HierarchyResult access(unsigned core, BlockNum blk, bool is_write);
+
+    std::uint64_t llcHits() const;
+    std::uint64_t llcMisses() const;
+    std::uint64_t llcAccesses() const;
+    double llcMissRate() const;
+    std::uint64_t llcWritebacks() const;
+
+    const CacheHierarchyConfig &config() const { return cfg_; }
+    void resetStats();
+
+  private:
+    CacheHierarchyConfig cfg_;
+    std::vector<SetAssocCache> l1_;
+    std::vector<SetAssocCache> l2_;
+    std::vector<SetAssocCache> l3_;
+
+    SetAssocCache &l3SliceFor(unsigned core);
+    const SetAssocCache &l3SliceFor(unsigned core) const;
+};
+
+} // namespace toleo
+
+#endif // TOLEO_CACHE_HIERARCHY_HH

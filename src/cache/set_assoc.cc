@@ -1,0 +1,164 @@
+#include "cache/set_assoc.hh"
+
+namespace toleo {
+
+namespace {
+
+/** Mix the key so low-entropy keys still spread across sets. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::uint64_t num_sets, unsigned assoc)
+    : numSets_(num_sets), assoc_(assoc),
+      lines_(num_sets * assoc)
+{
+    if (num_sets == 0 || assoc == 0)
+        panic("SetAssocCache: zero sets or ways");
+}
+
+SetAssocCache
+SetAssocCache::fromCapacity(std::uint64_t bytes, std::uint64_t line_size,
+                            unsigned assoc)
+{
+    if (bytes % (line_size * assoc) != 0)
+        panic("SetAssocCache: capacity %llu not divisible by way size",
+              static_cast<unsigned long long>(bytes));
+    return SetAssocCache(bytes / (line_size * assoc), assoc);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(std::uint64_t key) const
+{
+    if (numSets_ == 1)
+        return 0;
+    return mix(key) % numSets_;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(std::uint64_t key)
+{
+    const std::uint64_t base = setIndex(key) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.key == key)
+            return &line;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(std::uint64_t key) const
+{
+    const std::uint64_t base = setIndex(key) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.key == key)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheAccessResult
+SetAssocCache::access(std::uint64_t key, bool is_write)
+{
+    CacheAccessResult res;
+    ++useClock_;
+
+    if (Line *line = findLine(key)) {
+        ++hits_;
+        res.hit = true;
+        line->lastUse = useClock_;
+        line->dirty = line->dirty || is_write;
+        return res;
+    }
+
+    ++misses_;
+    const std::uint64_t base = setIndex(key) * assoc_;
+    Line *victim = &lines_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    if (victim->valid) {
+        if (victim->dirty) {
+            ++writebacks_;
+            res.writebackTag = victim->key;
+        } else {
+            res.evictedTag = victim->key;
+        }
+    }
+
+    victim->valid = true;
+    victim->key = key;
+    victim->lastUse = useClock_;
+    victim->dirty = is_write;
+    return res;
+}
+
+bool
+SetAssocCache::contains(std::uint64_t key) const
+{
+    return findLine(key) != nullptr;
+}
+
+bool
+SetAssocCache::touch(std::uint64_t key, bool mark_dirty)
+{
+    ++useClock_;
+    if (Line *line = findLine(key)) {
+        ++hits_;
+        line->lastUse = useClock_;
+        line->dirty = line->dirty || mark_dirty;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t key)
+{
+    if (Line *line = findLine(key)) {
+        const bool was_dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        return was_dirty;
+    }
+    return false;
+}
+
+void
+SetAssocCache::markDirty(std::uint64_t key)
+{
+    if (Line *line = findLine(key))
+        line->dirty = true;
+}
+
+double
+SetAssocCache::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / total : 0.0;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = misses_ = writebacks_ = 0;
+}
+
+} // namespace toleo

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Generic set-associative cache model with LRU replacement.
+ *
+ * Used for the data hierarchy (L1D/L2/L3), the MAC cache, the stealth
+ * overflow buffer, the Merkle version cache, and (fully associative)
+ * the shared last-level TLB.  The model tracks tags, dirty bits, and
+ * hit/miss/writeback statistics -- no data payloads, which is all the
+ * timing simulation needs.  Functional payloads live in the
+ * protection-engine models that need them.
+ */
+
+#ifndef TOLEO_CACHE_SET_ASSOC_HH
+#define TOLEO_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace toleo {
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Valid dirty victim evicted to make room (writeback needed). */
+    std::optional<std::uint64_t> writebackTag;
+    /** Valid clean victim evicted (silent drop). */
+    std::optional<std::uint64_t> evictedTag;
+};
+
+/**
+ * Set-associative cache over abstract 64-bit keys ("tags" here are
+ * full keys; the set index is derived from the key).
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param num_sets Number of sets (1 == fully associative).
+     * @param assoc Ways per set.
+     */
+    SetAssocCache(std::uint64_t num_sets, unsigned assoc);
+
+    /** Construct from byte capacity / line size / associativity. */
+    static SetAssocCache fromCapacity(std::uint64_t bytes,
+                                      std::uint64_t line_size,
+                                      unsigned assoc);
+
+    /**
+     * Access a key; allocates on miss (evicting LRU), promotes on hit.
+     * @param key Lookup key (block number, page number, ...).
+     * @param is_write Marks the line dirty on hit or fill.
+     */
+    CacheAccessResult access(std::uint64_t key, bool is_write);
+
+    /** Probe without modifying state. */
+    bool contains(std::uint64_t key) const;
+
+    /**
+     * Non-allocating access: on a hit, refresh LRU (and optionally
+     * the dirty bit); on a miss, do nothing.  Used for traffic that
+     * must not displace the demand working set (e.g. version updates
+     * for long-cold pages).
+     */
+    bool touch(std::uint64_t key, bool mark_dirty);
+
+    /** Invalidate a key if present; returns true if it was dirty. */
+    bool invalidate(std::uint64_t key);
+
+    /** Mark a resident key dirty (no-op if absent). */
+    void markDirty(std::uint64_t key);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    double hitRate() const;
+
+    std::uint64_t numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t numSets_;
+    unsigned assoc_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+
+    std::uint64_t setIndex(std::uint64_t key) const;
+    Line *findLine(std::uint64_t key);
+    const Line *findLine(std::uint64_t key) const;
+};
+
+} // namespace toleo
+
+#endif // TOLEO_CACHE_SET_ASSOC_HH

@@ -1,0 +1,169 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded called with bound 0");
+    // Lemire-style rejection to remove modulo bias.
+    std::uint64_t threshold = -bound % bound;
+    while (true) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (hi < lo)
+        panic("Rng::nextRange: hi < lo");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+bool
+Rng::nextPow2Draw(unsigned bits)
+{
+    if (bits == 0)
+        return true;
+    if (bits >= 64)
+        return false;
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    return (next() & mask) == 0;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    haveSpare_ = true;
+    return u * mul;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+double
+ZipfSampler::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    if (n == 0)
+        panic("ZipfSampler domain must be non-empty");
+    // Cap the zeta sum for very large domains; the tail contributes
+    // negligibly and exact summation would dominate setup time.
+    const std::uint64_t cap = n > 10'000'000 ? 10'000'000 : n;
+    zetan_ = zeta(cap, theta);
+    if (cap < n) {
+        // Integral approximation of the remaining tail.
+        zetan_ += (std::pow(static_cast<double>(n), 1.0 - theta) -
+                   std::pow(static_cast<double>(cap), 1.0 - theta)) /
+                  (1.0 - theta);
+    }
+    alpha_ = 1.0 / (1.0 - theta);
+    const double zeta2 = zeta(2, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::next()
+{
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double frac =
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    auto idx = static_cast<std::uint64_t>(static_cast<double>(n_) * frac);
+    if (idx >= n_)
+        idx = n_ - 1;
+    return idx;
+}
+
+} // namespace toleo

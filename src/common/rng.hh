@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the reproduction (stealth-version
+ * initialization, probabilistic resets, workload synthesis) draws from
+ * seeded xoshiro256** streams so every experiment is reproducible
+ * bit-for-bit.  The real Toleo device uses a DRAM-based TRNG
+ * (D-RaNGe [29]); a seeded PRNG is the standard simulation stand-in.
+ */
+
+#ifndef TOLEO_COMMON_RNG_HH
+#define TOLEO_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace toleo {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna).  Small, fast, and good
+ * enough statistically for simulation purposes.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so any 64-bit seed yields a good state. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p. */
+    bool nextBool(double p);
+
+    /**
+     * Bernoulli draw with probability 2^-bits, computed without
+     * floating point (matches hardware reset-draw semantics:
+     * Section 4.2 uses p = 2^-20).
+     */
+    bool nextPow2Draw(unsigned bits);
+
+    /** Standard normal (Box-Muller). */
+    double nextGaussian();
+
+    /** Gaussian with given mean and standard deviation. */
+    double nextGaussian(double mean, double stddev);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Bounded Zipfian sampler over [0, n) with exponent theta, using the
+ * standard inverse-CDF-free rejection method of Gray et al.  Used by
+ * the key-value-store workload generators for popularity skew.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed);
+
+    std::uint64_t next();
+
+    std::uint64_t domain() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+
+    static double zeta(std::uint64_t n, double theta);
+};
+
+} // namespace toleo
+
+#endif // TOLEO_COMMON_RNG_HH

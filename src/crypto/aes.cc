@@ -1,0 +1,210 @@
+#include "crypto/aes.hh"
+
+#include <cstring>
+
+namespace toleo {
+
+namespace {
+
+/**
+ * S-box generated at static-init time from the multiplicative inverse
+ * in GF(2^8) followed by the affine transform, rather than pasted as a
+ * 256-entry magic table; this keeps the construction auditable.
+ */
+struct SboxTables
+{
+    std::uint8_t sbox[256];
+    std::uint8_t inv[256];
+
+    SboxTables()
+    {
+        // Build log/antilog tables over generator 3.
+        std::uint8_t exp[256];
+        std::uint8_t log[256] = {0};
+        std::uint8_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[i] = x;
+            log[x] = static_cast<std::uint8_t>(i);
+            // multiply x by 3 = x + x*2 in GF(2^8)
+            std::uint8_t x2 = static_cast<std::uint8_t>(
+                (x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+            x = static_cast<std::uint8_t>(x2 ^ x);
+        }
+        exp[255] = exp[0];
+
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t q =
+                i == 0 ? 0 : exp[255 - log[static_cast<std::uint8_t>(i)]];
+            // Affine transform.
+            std::uint8_t s = static_cast<std::uint8_t>(
+                q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4) ^
+                0x63);
+            sbox[i] = s;
+            inv[s] = static_cast<std::uint8_t>(i);
+        }
+    }
+
+    static std::uint8_t
+    rotl8(std::uint8_t v, int k)
+    {
+        return static_cast<std::uint8_t>((v << k) | (v >> (8 - k)));
+    }
+};
+
+const SboxTables tables;
+
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+} // namespace
+
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    while (b) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+std::uint8_t
+aesSbox(std::uint8_t x)
+{
+    return tables.sbox[x];
+}
+
+std::uint8_t
+aesInvSbox(std::uint8_t x)
+{
+    return tables.inv[x];
+}
+
+Aes128::Aes128(const AesKey &key)
+{
+    expandKey(key);
+}
+
+void
+Aes128::expandKey(const AesKey &key)
+{
+    std::memcpy(roundKeys_.data(), key.data(), 16);
+    std::uint8_t rcon = 1;
+    for (unsigned i = 16; i < roundKeys_.size(); i += 4) {
+        std::uint8_t t[4];
+        std::memcpy(t, &roundKeys_[i - 4], 4);
+        if (i % 16 == 0) {
+            // RotWord + SubWord + Rcon
+            std::uint8_t tmp = t[0];
+            t[0] = static_cast<std::uint8_t>(tables.sbox[t[1]] ^ rcon);
+            t[1] = tables.sbox[t[2]];
+            t[2] = tables.sbox[t[3]];
+            t[3] = tables.sbox[tmp];
+            rcon = xtime(rcon);
+        }
+        for (unsigned j = 0; j < 4; ++j)
+            roundKeys_[i + j] =
+                static_cast<std::uint8_t>(roundKeys_[i - 16 + j] ^ t[j]);
+    }
+}
+
+AesBlock
+Aes128::encrypt(const AesBlock &plain) const
+{
+    AesBlock s = plain;
+    auto addRoundKey = [&](unsigned round) {
+        for (unsigned i = 0; i < 16; ++i)
+            s[i] ^= roundKeys_[round * 16 + i];
+    };
+    auto subBytes = [&]() {
+        for (auto &b : s)
+            b = tables.sbox[b];
+    };
+    auto shiftRows = [&]() {
+        AesBlock t = s;
+        // State is column-major: byte index = col*4 + row.
+        for (unsigned r = 1; r < 4; ++r)
+            for (unsigned c = 0; c < 4; ++c)
+                s[c * 4 + r] = t[((c + r) % 4) * 4 + r];
+    };
+    auto mixColumns = [&]() {
+        for (unsigned c = 0; c < 4; ++c) {
+            std::uint8_t *col = &s[c * 4];
+            std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            col[0] = static_cast<std::uint8_t>(
+                gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3);
+            col[1] = static_cast<std::uint8_t>(
+                a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3);
+            col[2] = static_cast<std::uint8_t>(
+                a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3));
+            col[3] = static_cast<std::uint8_t>(
+                gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2));
+        }
+    };
+
+    addRoundKey(0);
+    for (unsigned round = 1; round < numRounds; ++round) {
+        subBytes();
+        shiftRows();
+        mixColumns();
+        addRoundKey(round);
+    }
+    subBytes();
+    shiftRows();
+    addRoundKey(numRounds);
+    return s;
+}
+
+AesBlock
+Aes128::decrypt(const AesBlock &cipher) const
+{
+    AesBlock s = cipher;
+    auto addRoundKey = [&](unsigned round) {
+        for (unsigned i = 0; i < 16; ++i)
+            s[i] ^= roundKeys_[round * 16 + i];
+    };
+    auto invSubBytes = [&]() {
+        for (auto &b : s)
+            b = tables.inv[b];
+    };
+    auto invShiftRows = [&]() {
+        AesBlock t = s;
+        for (unsigned r = 1; r < 4; ++r)
+            for (unsigned c = 0; c < 4; ++c)
+                s[((c + r) % 4) * 4 + r] = t[c * 4 + r];
+    };
+    auto invMixColumns = [&]() {
+        for (unsigned c = 0; c < 4; ++c) {
+            std::uint8_t *col = &s[c * 4];
+            std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            col[0] = static_cast<std::uint8_t>(gfMul(a0, 14) ^
+                gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9));
+            col[1] = static_cast<std::uint8_t>(gfMul(a0, 9) ^
+                gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13));
+            col[2] = static_cast<std::uint8_t>(gfMul(a0, 13) ^
+                gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11));
+            col[3] = static_cast<std::uint8_t>(gfMul(a0, 11) ^
+                gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14));
+        }
+    };
+
+    addRoundKey(numRounds);
+    for (unsigned round = numRounds - 1; round >= 1; --round) {
+        invShiftRows();
+        invSubBytes();
+        addRoundKey(round);
+        invMixColumns();
+    }
+    invShiftRows();
+    invSubBytes();
+    addRoundKey(0);
+    return s;
+}
+
+} // namespace toleo

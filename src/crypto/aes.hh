@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), implemented from scratch.
+ *
+ * The reproduction needs *functional* encryption so that the security
+ * properties the paper argues for (Section 6) can be demonstrated and
+ * tested end-to-end: nonce-unique ciphertexts, MAC forgery failure,
+ * page scrambling on version reset.  This is a straightforward
+ * table-free implementation; throughput is irrelevant because timing
+ * is modeled separately (40-cycle pipelined engine, Table 3).
+ */
+
+#ifndef TOLEO_CRYPTO_AES_HH
+#define TOLEO_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace toleo {
+
+/** One 16-byte AES block. */
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/** One 16-byte AES-128 key. */
+using AesKey = std::array<std::uint8_t, 16>;
+
+/**
+ * AES-128 with precomputed key schedule.  Encrypt and decrypt a single
+ * 16-byte block.
+ */
+class Aes128
+{
+  public:
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt one block in place semantics: returns ciphertext. */
+    AesBlock encrypt(const AesBlock &plain) const;
+
+    /** Decrypt one block: returns plaintext. */
+    AesBlock decrypt(const AesBlock &cipher) const;
+
+  private:
+    static constexpr unsigned numRounds = 10;
+    /** Expanded round keys: (numRounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, 16 * (numRounds + 1)> roundKeys_;
+
+    void expandKey(const AesKey &key);
+};
+
+/** Multiply in GF(2^8) with the AES polynomial (x^8+x^4+x^3+x+1). */
+std::uint8_t gfMul(std::uint8_t a, std::uint8_t b);
+
+/** AES S-box lookup (exposed for test vectors). */
+std::uint8_t aesSbox(std::uint8_t x);
+
+/** AES inverse S-box lookup. */
+std::uint8_t aesInvSbox(std::uint8_t x);
+
+} // namespace toleo
+
+#endif // TOLEO_CRYPTO_AES_HH

@@ -1,0 +1,131 @@
+#include "crypto/modes.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+namespace {
+
+void
+putLe64(std::uint8_t *dst, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+Bytes
+AesCtr::apply(const Bytes &data, std::uint64_t version, Addr addr) const
+{
+    Bytes out(data.size());
+    AesBlock ctr{};
+    putLe64(ctr.data(), version);
+    putLe64(ctr.data() + 8, addr);
+    // The low 32 bits of the address field double as the block
+    // counter; cache blocks are only 4 AES blocks so no overflow.
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+        AesBlock ks = aes_.encrypt(ctr);
+        const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = data[off + i] ^ ks[i];
+        // Increment counter (little-endian in byte 0..3).
+        for (int i = 0; i < 4; ++i)
+            if (++ctr[i] != 0)
+                break;
+    }
+    return out;
+}
+
+AesBlock
+AesXts::tweakFor(std::uint64_t version, Addr addr) const
+{
+    AesBlock t{};
+    putLe64(t.data(), addr);
+    putLe64(t.data() + 8, version);
+    return tweak_.encrypt(t);
+}
+
+void
+AesXts::gf128MulX(AesBlock &t)
+{
+    std::uint8_t carry = 0;
+    for (int i = 0; i < 16; ++i) {
+        std::uint8_t next = static_cast<std::uint8_t>(t[i] >> 7);
+        t[i] = static_cast<std::uint8_t>((t[i] << 1) | carry);
+        carry = next;
+    }
+    if (carry)
+        t[0] ^= 0x87;
+}
+
+Bytes
+AesXts::encrypt(const Bytes &plain, std::uint64_t version, Addr addr) const
+{
+    if (plain.size() % 16 != 0)
+        panic("AesXts requires 16-byte multiples (got %zu)", plain.size());
+    Bytes out(plain.size());
+    AesBlock t = tweakFor(version, addr);
+    for (std::size_t off = 0; off < plain.size(); off += 16) {
+        AesBlock b;
+        std::memcpy(b.data(), &plain[off], 16);
+        for (int i = 0; i < 16; ++i)
+            b[i] ^= t[i];
+        b = data_.encrypt(b);
+        for (int i = 0; i < 16; ++i)
+            b[i] ^= t[i];
+        std::memcpy(&out[off], b.data(), 16);
+        gf128MulX(t);
+    }
+    return out;
+}
+
+Bytes
+AesXts::decrypt(const Bytes &cipher, std::uint64_t version, Addr addr) const
+{
+    if (cipher.size() % 16 != 0)
+        panic("AesXts requires 16-byte multiples (got %zu)", cipher.size());
+    Bytes out(cipher.size());
+    AesBlock t = tweakFor(version, addr);
+    for (std::size_t off = 0; off < cipher.size(); off += 16) {
+        AesBlock b;
+        std::memcpy(b.data(), &cipher[off], 16);
+        for (int i = 0; i < 16; ++i)
+            b[i] ^= t[i];
+        b = data_.decrypt(b);
+        for (int i = 0; i < 16; ++i)
+            b[i] ^= t[i];
+        std::memcpy(&out[off], b.data(), 16);
+        gf128MulX(t);
+    }
+    return out;
+}
+
+std::uint64_t
+Mac56::compute(std::uint64_t version, Addr addr, const Bytes &cipher) const
+{
+    // CBC-MAC over (version ‖ addr ‖ cipher), zero-padded; truncated
+    // to 56 bits.  Fixed-length inputs (one cache block) make plain
+    // CBC-MAC safe here.
+    AesBlock acc{};
+    AesBlock hdr{};
+    putLe64(hdr.data(), version);
+    putLe64(hdr.data() + 8, addr);
+    for (int i = 0; i < 16; ++i)
+        acc[i] ^= hdr[i];
+    acc = aes_.encrypt(acc);
+    for (std::size_t off = 0; off < cipher.size(); off += 16) {
+        const std::size_t n = std::min<std::size_t>(16, cipher.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            acc[i] ^= cipher[off + i];
+        acc = aes_.encrypt(acc);
+    }
+    std::uint64_t tag = 0;
+    for (int i = 0; i < 8; ++i)
+        tag |= static_cast<std::uint64_t>(acc[i]) << (8 * i);
+    return tag & ((std::uint64_t{1} << bits) - 1);
+}
+
+} // namespace toleo

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Rack memory topology (Figure 1 / Table 3).
+ *
+ * One simulated compute node sees:
+ *  - local DDR4-3200 DRAM, 3 channels;
+ *  - a shared CXL 2.0 memory pool over a PCIe5 x8 link with retimer
+ *    (12.7 GB/s, 95 ns added link latency);
+ *  - the Toleo device over a dedicated IDE-enabled CXL 2.0 PCIe5 x2
+ *    link (3.32 GB/s, 95 ns), with HMC2 DRAM behind it (15 ns).
+ *
+ * Virtual pages are mapped to local vs. pooled memory randomly in
+ * proportion to channel bandwidth (Section 7), which we reproduce with
+ * a page-hash split.
+ */
+
+#ifndef TOLEO_MEM_TOPOLOGY_HH
+#define TOLEO_MEM_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/channel.hh"
+
+namespace toleo {
+
+/** Where a physical page lives. */
+enum class MemTarget { LocalDram, CxlPool };
+
+struct MemTopologyConfig
+{
+    unsigned ddrChannels = 3;
+    double ddrBandwidthGBps = 25.6;   ///< per DDR4-3200 channel
+    double ddrLatencyNs = 60.0;       ///< zero-load DRAM access
+    double cxlPoolBandwidthGBps = 12.7;
+    double cxlPoolLatencyNs = 95.0;   ///< link+retimer, added to DRAM
+    double toleoLinkBandwidthGBps = 3.32;
+    double toleoLinkLatencyNs = 95.0;
+    double toleoDramLatencyNs = 15.0; ///< HMC2 access behind the link
+    /**
+     * CXL IDE in skid mode releases data before the integrity check
+     * completes, so IDE adds (near) zero latency; non-skid serializes
+     * the MAC check (Section 3.1 / 4.1).
+     */
+    bool ideSkidMode = true;
+    double ideNonSkidPenaltyNs = 25.0;
+};
+
+class MemTopology
+{
+  public:
+    explicit MemTopology(const MemTopologyConfig &cfg);
+
+    /** Map a page to local DRAM or the CXL pool (bandwidth-propor.). */
+    MemTarget targetFor(PageNum page) const;
+
+    /** Account a data/metadata transfer to/from a page's home. */
+    void addDataTraffic(PageNum page, std::uint64_t bytes);
+
+    /** Account a transfer on the Toleo CXL IDE link. */
+    void addToleoTraffic(std::uint64_t bytes);
+
+    /** Effective latency of a block access to a page's home, ns. */
+    double dataLatencyNs(PageNum page) const;
+
+    /** Effective round-trip latency of a Toleo version access, ns. */
+    double toleoLatencyNs() const;
+
+    /** Close a traffic epoch on all channels. */
+    void endEpoch(double epoch_ns);
+
+    /** Max over channels of the time needed to drain this epoch. */
+    double requiredEpochNs() const;
+
+    const Channel &ddr(unsigned ch) const { return ddr_[ch]; }
+    const Channel &cxlPool() const { return cxlPool_; }
+    const Channel &toleoLink() const { return toleoLink_; }
+    unsigned numDdrChannels() const { return ddr_.size(); }
+
+    std::uint64_t totalDataBytes() const;
+    std::uint64_t toleoBytes() const { return toleoLink_.totalBytes(); }
+
+    /** Fraction of pages that map to the CXL pool. */
+    double poolFraction() const { return poolFraction_; }
+
+    const MemTopologyConfig &config() const { return cfg_; }
+    void resetStats();
+
+  private:
+    MemTopologyConfig cfg_;
+    std::vector<Channel> ddr_;
+    Channel cxlPool_;
+    Channel toleoLink_;
+    double poolFraction_;
+
+    unsigned ddrChannelFor(PageNum page) const;
+};
+
+} // namespace toleo
+
+#endif // TOLEO_MEM_TOPOLOGY_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Confidentiality (+ optionally Integrity) engine.
+ *
+ * Models scalable SGX-style protection (Section 2.2 / 7):
+ *  - C: AES-XTS encryption/decryption on every off-chip transfer
+ *    (40-cycle engine, Table 3);
+ *  - I: a 56-bit MAC per cache block; eight MACs pack into one 64 B
+ *    MAC block stored alongside data (Figure 4) and cached in a 1 MB,
+ *    16-way MAC cache (32 KB/core, Table 3).
+ *
+ * With integrity off this is the "C" configuration of Figure 9; with
+ * it on it is "CI" (scalable SGX TME + integrity).  The Toleo engine
+ * composes on top of this class.
+ */
+
+#ifndef TOLEO_SECMEM_CI_HH
+#define TOLEO_SECMEM_CI_HH
+
+#include "cache/set_assoc.hh"
+#include "crypto/timing.hh"
+#include "secmem/engine.hh"
+
+namespace toleo {
+
+struct CiConfig
+{
+    bool integrity = true;
+    std::uint64_t macCacheBytes = 1 * MiB;
+    unsigned macCacheAssoc = 16;
+    CryptoTiming crypto;
+    /**
+     * Fraction of the memory channel latency that a parallel MAC
+     * fetch adds to the read critical path (the MAC block queues
+     * behind the data transfer on the same channel, and the MAC
+     * check gates data release; the rest overlaps under MLP).
+     */
+    double macFetchSerialization = 0.45;
+};
+
+class CiEngine : public ProtectionEngine
+{
+  public:
+    CiEngine(MemTopology &topo, const CiConfig &cfg,
+             std::string name = "");
+
+    MetaCost onRead(BlockNum blk) override;
+    MetaCost onWriteback(BlockNum blk) override;
+
+    bool confidentiality() const override { return true; }
+    bool integrity() const override { return cfg_.integrity; }
+    bool freshness() const override { return false; }
+    bool fullMemory() const override { return true; }
+
+    double macCacheHitRate() const { return macCache_.hitRate(); }
+    const SetAssocCache &macCache() const { return macCache_; }
+
+  protected:
+    CiConfig cfg_;
+    /** Keyed by MAC-block number: eight data blocks per MAC block. */
+    SetAssocCache macCache_;
+
+    /** MAC block holding the MAC of a data block. */
+    static std::uint64_t macBlockOf(BlockNum blk) { return blk / 8; }
+
+    /**
+     * Run one MAC-cache access for a data block; accounts fetch and
+     * writeback traffic and returns the added read-path latency.
+     */
+    double macAccess(BlockNum blk, bool is_write, MetaCost &cost);
+};
+
+} // namespace toleo
+
+#endif // TOLEO_SECMEM_CI_HH

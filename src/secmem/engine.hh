@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Memory-protection engine interface.
+ *
+ * The simulation driver feeds every LLC miss (read fill) and dirty
+ * LLC eviction (writeback) to the configured engine.  The engine
+ * models the metadata side of the access -- MAC fetches, version
+ * lookups, Merkle walks, dummy packets -- by accounting traffic on the
+ * memory topology's channels and returning the latency added to the
+ * critical path of a read.
+ *
+ * Engines correspond to the paper's evaluated configurations
+ * (Section 7): NoProtect, C, CI, Toleo (in src/toleo), InvisiMem,
+ * plus a Merkle-tree baseline used for ablations.
+ */
+
+#ifndef TOLEO_SECMEM_ENGINE_HH
+#define TOLEO_SECMEM_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/topology.hh"
+
+namespace toleo {
+
+/** Cost of the metadata work for one block access. */
+struct MetaCost
+{
+    /** Serialized latency added to a read's critical path, ns. */
+    double latencyNs = 0.0;
+    /** Bytes of metadata moved on conventional memory channels. */
+    std::uint64_t metaBytes = 0;
+    /** Bytes moved on the Toleo CXL IDE link. */
+    std::uint64_t toleoBytes = 0;
+    /** Dummy-traffic bytes (InvisiMem constant-rate padding). */
+    std::uint64_t dummyBytes = 0;
+};
+
+class ProtectionEngine
+{
+  public:
+    explicit ProtectionEngine(std::string name, MemTopology &topo)
+        : name_(std::move(name)), topo_(topo), stats_(name_)
+    {}
+    virtual ~ProtectionEngine() = default;
+
+    /** A block is being fetched from memory into the LLC. */
+    virtual MetaCost onRead(BlockNum blk) = 0;
+
+    /** A dirty block is being written back from the LLC to memory. */
+    virtual MetaCost onWriteback(BlockNum blk) = 0;
+
+    /** Does this engine guarantee confidentiality? */
+    virtual bool confidentiality() const = 0;
+    /** Does this engine guarantee integrity? */
+    virtual bool integrity() const = 0;
+    /** Does this engine guarantee freshness? */
+    virtual bool freshness() const = 0;
+    /** Can it protect the full physical memory space (28 TB)? */
+    virtual bool fullMemory() const = 0;
+
+    const std::string &name() const { return name_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  protected:
+    std::string name_;
+    MemTopology &topo_;
+    StatGroup stats_;
+
+    /** Core cycles -> ns at the 2.25 GHz simulated clock (Table 3). */
+    static double
+    cyclesToNs(Cycles c)
+    {
+        return static_cast<double>(c) / 2.25;
+    }
+};
+
+} // namespace toleo
+
+#endif // TOLEO_SECMEM_ENGINE_HH

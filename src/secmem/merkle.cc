@@ -1,0 +1,86 @@
+#include "secmem/merkle.hh"
+
+namespace toleo {
+
+MerkleTreeEngine::MerkleTreeEngine(MemTopology &topo,
+                                   const MerkleConfig &cfg)
+    : ProtectionEngine("Merkle", topo), cfg_(cfg),
+      cache_(SetAssocCache::fromCapacity(cfg.versionCacheBytes, blockSize,
+                                         cfg.versionCacheAssoc))
+{
+    std::uint64_t nodes = cfg.protectedBytes / blockSize /
+                          cfg.blocksPerLeaf;
+    numLevels_ = 1;
+    while (nodes > 1) {
+        nodes = (nodes + cfg.arity - 1) / cfg.arity;
+        ++numLevels_;
+    }
+}
+
+std::uint64_t
+MerkleTreeEngine::nodeKey(unsigned level, std::uint64_t index) const
+{
+    return (static_cast<std::uint64_t>(level) << 56) | index;
+}
+
+MetaCost
+MerkleTreeEngine::walk(BlockNum blk, bool is_write)
+{
+    MetaCost cost;
+    const PageNum page = pageOfBlock(blk);
+    std::uint64_t index = blk / cfg_.blocksPerLeaf;
+
+    for (unsigned level = 0; level < numLevels_; ++level) {
+        auto res = cache_.access(nodeKey(level, index), is_write);
+        if (res.writebackTag) {
+            cost.metaBytes += blockSize;
+            topo_.addDataTraffic(page, blockSize);
+            ++stats_.counter("node_writebacks");
+        }
+        if (res.hit) {
+            // Everything above this node is already verified.
+            break;
+        }
+        // Fetch the missing node: a dependent access in the chain.
+        cost.metaBytes += blockSize;
+        topo_.addDataTraffic(page, blockSize);
+        cost.latencyNs +=
+            cfg_.levelSerialization * topo_.dataLatencyNs(page);
+        ++stats_.counter("node_fetches");
+        stats_.counter("levels_walked") += 1;
+        index /= cfg_.arity;
+    }
+    return cost;
+}
+
+MetaCost
+MerkleTreeEngine::onRead(BlockNum blk)
+{
+    ++stats_.counter("reads");
+    MetaCost cost = walk(blk, false);
+    // Decrypt + leaf MAC verify.
+    cost.latencyNs += cyclesToNs(cfg_.crypto.aesLatency) +
+                      cyclesToNs(cfg_.crypto.macLatency);
+    return cost;
+}
+
+MetaCost
+MerkleTreeEngine::onWriteback(BlockNum blk)
+{
+    ++stats_.counter("writebacks");
+    // A write increments the leaf counter and dirties every ancestor
+    // (they will be written back on cache eviction).
+    return walk(blk, true);
+}
+
+double
+MerkleTreeEngine::avgExtraAccessesPerRead()
+{
+    const auto reads = stats_.counter("reads").value();
+    const auto writes = stats_.counter("writebacks").value();
+    const auto fetches = stats_.counter("node_fetches").value();
+    const auto total = reads + writes;
+    return total ? static_cast<double>(fetches) / total : 0.0;
+}
+
+} // namespace toleo

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Baseline engine: no memory protection at all.
+ */
+
+#ifndef TOLEO_SECMEM_NOPROTECT_HH
+#define TOLEO_SECMEM_NOPROTECT_HH
+
+#include "secmem/engine.hh"
+
+namespace toleo {
+
+class NoProtectEngine : public ProtectionEngine
+{
+  public:
+    explicit NoProtectEngine(MemTopology &topo)
+        : ProtectionEngine("NoProtect", topo)
+    {}
+
+    MetaCost onRead(BlockNum) override { return {}; }
+    MetaCost onWriteback(BlockNum) override { return {}; }
+
+    bool confidentiality() const override { return false; }
+    bool integrity() const override { return false; }
+    bool freshness() const override { return false; }
+    bool fullMemory() const override { return true; }
+};
+
+} // namespace toleo
+
+#endif // TOLEO_SECMEM_NOPROTECT_HH

@@ -1,0 +1,371 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "secmem/noprotect.hh"
+
+namespace toleo {
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::NoProtect: return "NoProtect";
+      case EngineKind::C: return "C";
+      case EngineKind::CI: return "CI";
+      case EngineKind::Toleo: return "Toleo";
+      case EngineKind::InvisiMem: return "InvisiMem";
+      case EngineKind::Merkle: return "Merkle";
+    }
+    return "?";
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), topo_(cfg.mem),
+      hierarchy_([&] {
+          CacheHierarchyConfig c = cfg.caches;
+          c.numCores = cfg.numCores;
+          return c;
+      }()),
+      winfo_(workloadInfo(cfg.workload))
+{
+    switch (cfg.engine) {
+      case EngineKind::NoProtect:
+        engine_ = std::make_unique<NoProtectEngine>(topo_);
+        break;
+      case EngineKind::C: {
+        CiConfig c = cfg.ci;
+        c.integrity = false;
+        engine_ = std::make_unique<CiEngine>(topo_, c);
+        break;
+      }
+      case EngineKind::CI:
+        engine_ = std::make_unique<CiEngine>(topo_, cfg.ci);
+        break;
+      case EngineKind::Toleo: {
+        device_ = std::make_unique<ToleoDevice>(cfg.device);
+        auto eng = std::make_unique<ToleoEngine>(topo_, *device_,
+                                                 cfg.toleo);
+        toleoEngine_ = eng.get();
+        engine_ = std::move(eng);
+        break;
+      }
+      case EngineKind::InvisiMem: {
+        auto eng = std::make_unique<InvisiMemEngine>(topo_,
+                                                     cfg.invisimem);
+        invisimem_ = eng.get();
+        engine_ = std::move(eng);
+        break;
+      }
+      case EngineKind::Merkle:
+        engine_ = std::make_unique<MerkleTreeEngine>(topo_, cfg.merkle);
+        break;
+    }
+
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        gens_.push_back(makeWorkload(cfg.workload, c, cfg.seed));
+
+    coreInsts_.assign(cfg.numCores, 0);
+    coreStallNs_.assign(cfg.numCores, 0.0);
+}
+
+System::~System() = default;
+
+double
+System::coreTimeNs(unsigned core) const
+{
+    const double inst_ns = static_cast<double>(coreInsts_[core]) /
+                           (cfg_.baseIpc * cfg_.clockGhz);
+    return inst_ns + coreStallNs_[core];
+}
+
+double
+System::maxCoreTimeNs() const
+{
+    double m = 0.0;
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        m = std::max(m, coreTimeNs(c));
+    return m;
+}
+
+void
+System::step(unsigned core, std::uint64_t &global_refs)
+{
+    const MemRef ref = gens_[core]->next();
+    coreInsts_[core] += ref.instGap + 1;
+    ++global_refs;
+    footprint_.insert(pageOf(ref.addr));
+
+    auto res = hierarchy_.access(core, blockOf(ref.addr), ref.isWrite);
+
+    // Dirty victims leaving the chip: off the read critical path but
+    // they generate data + metadata traffic and version updates.
+    for (BlockNum victim : res.memWritebacks) {
+        const PageNum vpage = pageOfBlock(victim);
+        topo_.addDataTraffic(vpage, blockSize);
+        MetaCost wc = engine_->onWriteback(victim);
+        metaBytes_ += wc.metaBytes;
+        ++writebacks_;
+    }
+
+    if (!res.llcMiss)
+        return;
+
+    const PageNum page = pageOf(ref.addr);
+
+    // Data fill.
+    topo_.addDataTraffic(page, blockSize);
+    MetaCost mc = engine_->onRead(blockOf(ref.addr));
+    metaBytes_ += mc.metaBytes;
+    const double dram_ns = topo_.dataLatencyNs(page);
+    const double total_ns = dram_ns + mc.latencyNs;
+
+    readLat_.sample(total_ns);
+    dramLat_.sample(dram_ns);
+    metaLat_.sample(mc.latencyNs);
+
+    coreStallNs_[core] += total_ns / winfo_.mlp;
+}
+
+void
+System::resetMeasurement()
+{
+    hierarchy_.resetStats();
+    topo_.resetStats();
+    engine_->stats().reset();
+    if (toleoEngine_)
+        toleoEngine_->stealthCache().resetStats();
+    readLat_.reset();
+    dramLat_.reset();
+    metaLat_.reset();
+    writebacks_ = 0;
+    metaBytes_ = 0;
+    // The footprint is intentionally *not* reset: it models the RSS,
+    // which accumulates from process start (Section 7.2).
+    std::fill(coreInsts_.begin(), coreInsts_.end(), 0);
+    std::fill(coreStallNs_.begin(), coreStallNs_.end(), 0.0);
+}
+
+SimStats
+System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
+{
+    std::uint64_t global_refs = 0;
+    std::uint64_t epoch_mark = 0;
+    double last_epoch_ns = 0.0;
+
+    auto epoch_boundary = [&] {
+        double delta = maxCoreTimeNs() - last_epoch_ns;
+        if (delta <= 0.0)
+            delta = 1.0;
+        if (invisimem_)
+            invisimem_->padEpoch(delta);
+        // Throughput floor: if any channel needs longer than the
+        // cores' latency-derived time to drain this epoch's traffic,
+        // the whole node is bandwidth-bound and time stretches.
+        const double required = topo_.requiredEpochNs();
+        if (required > delta) {
+            const double deficit = required - delta;
+            for (auto &stall : coreStallNs_)
+                stall += deficit;
+            delta = required;
+        }
+        topo_.endEpoch(delta);
+        last_epoch_ns = maxCoreTimeNs();
+    };
+
+    // Warmup: fill caches and version state, then reset stats.
+    for (std::uint64_t r = 0; r < warmup_refs; ++r) {
+        for (unsigned c = 0; c < cfg_.numCores; ++c)
+            step(c, global_refs);
+        if (global_refs - epoch_mark >= cfg_.epochRefs) {
+            epoch_boundary();
+            epoch_mark = global_refs;
+        }
+    }
+    resetMeasurement();
+    last_epoch_ns = 0.0;
+
+    // Measurement phase.
+    SimStats out;
+    const std::uint64_t sample_every =
+        std::max<std::uint64_t>(1, measure_refs / cfg_.timelinePoints);
+    for (std::uint64_t r = 0; r < measure_refs; ++r) {
+        for (unsigned c = 0; c < cfg_.numCores; ++c)
+            step(c, global_refs);
+        if (global_refs - epoch_mark >= cfg_.epochRefs) {
+            epoch_boundary();
+            epoch_mark = global_refs;
+        }
+        if (device_ && (r % sample_every) == 0) {
+            std::uint64_t insts = 0;
+            for (unsigned c = 0; c < cfg_.numCores; ++c)
+                insts += coreInsts_[c];
+            // Usage = statically mapped flat entries for the RSS
+            // (the touched footprint) + dynamic entries (Fig 12).
+            const std::uint64_t usage =
+                footprint_.size() * flatEntryBytes +
+                device_->store().dynamicBytes();
+            out.usageTimeline.emplace_back(insts, usage);
+        }
+    }
+    epoch_boundary();
+
+    // Collect the report.
+    out.workload = cfg_.workload;
+    out.engine = engine_->name();
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        out.instructions += coreInsts_[c];
+    out.refs = measure_refs * cfg_.numCores;
+    out.llcMisses = hierarchy_.llcMisses();
+    out.llcWritebacks = writebacks_;
+    out.execSeconds = maxCoreTimeNs() * 1e-9;
+    out.ipc = static_cast<double>(out.instructions) /
+              (maxCoreTimeNs() * cfg_.clockGhz) / cfg_.numCores;
+    out.llcMpki = 1000.0 * static_cast<double>(out.llcMisses) /
+                  static_cast<double>(out.instructions);
+
+    out.avgReadLatencyNs = readLat_.mean();
+    out.avgDramLatencyNs = dramLat_.mean();
+    out.avgMetaLatencyNs = metaLat_.mean();
+
+    const double insts = static_cast<double>(out.instructions);
+    const std::uint64_t data_bytes =
+        (out.llcMisses + out.llcWritebacks) * blockSize;
+    if (auto *ci = dynamic_cast<CiEngine *>(engine_.get()))
+        out.macCacheHitRate = ci->macCacheHitRate();
+    if (toleoEngine_)
+        out.stealthCacheHitRate =
+            toleoEngine_->stealthCache().hitRate();
+    out.dataBpi = static_cast<double>(data_bytes) / insts;
+    out.macBpi = static_cast<double>(metaBytes_) / insts;
+    out.stealthBpi = static_cast<double>(topo_.toleoBytes()) / insts;
+    out.dummyBpi =
+        invisimem_
+            ? static_cast<double>(invisimem_->dummyBytes()) / insts
+            : 0.0;
+
+    if (device_) {
+        // Page classification over the *RSS*: read-only and resident-
+        // but-cold pages never leave flat (their statically mapped
+        // entry), exactly as the paper derives flat usage from the
+        // OS-reported RSS (Section 7.2).
+        const auto b = device_->store().breakdown();
+        const std::uint64_t fp = std::max<std::uint64_t>(
+            footprint_.size(),
+            winfo_.simFootprintBytes / pageSize * cfg_.numCores);
+        out.trip.uneven = b.uneven;
+        out.trip.full = b.full;
+        out.trip.flat = fp >= b.uneven + b.full
+                            ? fp - b.uneven - b.full
+                            : 0;
+
+        const std::uint64_t usage =
+            fp * flatEntryBytes + device_->store().dynamicBytes();
+        out.toleoPeakUsageBytes = usage;
+
+        const double pages_per_tb = 1e12 / pageSize;
+        if (fp > 0) {
+            out.usagePerTb.flatGb =
+                pages_per_tb * flatEntryBytes / 1e9;
+            out.usagePerTb.unevenGb =
+                pages_per_tb *
+                (static_cast<double>(b.uneven) / fp) *
+                unevenEntryBytes / 1e9;
+            out.usagePerTb.fullGb =
+                pages_per_tb * (static_cast<double>(b.full) / fp) *
+                fullEntryAllocBytes / 1e9;
+        }
+        out.avgEntryBytesPerPage =
+            fp > 0 ? static_cast<double>(usage) / fp
+                   : static_cast<double>(flatEntryBytes);
+        out.toleoResets = device_->store().resets();
+        out.toleoUpgrades = device_->store().upgradesToUneven() +
+                            device_->store().upgradesToFull();
+    }
+    return out;
+}
+
+SystemConfig
+makeScaledConfig(const std::string &workload, EngineKind kind,
+                 unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.engine = kind;
+    cfg.numCores = cores;
+
+    // Caches scale so the 10^5-ref windows reach eviction steady
+    // state; associativities and latencies stay at paper values.
+    cfg.caches.l1Bytes = 16 * KiB;
+    cfg.caches.l1Assoc = 8;
+    cfg.caches.l2Bytes = 64 * KiB;
+    cfg.caches.l2Assoc = 16;
+    cfg.caches.l3SliceBytes = 1 * MiB;
+    cfg.caches.l3Assoc = 16;
+
+    // MAC cache scales like the paper's 32 KB/core.
+    cfg.ci.macCacheBytes = std::max<std::uint64_t>(
+        8 * KiB, cores * 4 * KiB);
+    cfg.toleo.ci = cfg.ci;
+
+    // Channel bandwidth scales with the core count (the paper's
+    // 32-core node has 3 DDR channels + one x8 CXL pool link).
+    const double scale = static_cast<double>(cores) / 32.0;
+    cfg.mem.ddrChannels =
+        std::max(1u, static_cast<unsigned>(3 * scale + 0.5));
+    cfg.mem.ddrBandwidthGBps =
+        25.6 * (3.0 * scale) / cfg.mem.ddrChannels;
+    cfg.mem.cxlPoolBandwidthGBps = 12.7 * scale;
+    // Keep the paper's Toleo-link : data-bandwidth ratio (3.32 of
+    // 89.5 GB/s = 3.7%), which is what determines whether the
+    // version link ever becomes the bottleneck.
+    cfg.mem.toleoLinkBandwidthGBps =
+        0.037 * (cfg.mem.ddrChannels * cfg.mem.ddrBandwidthGBps +
+                 cfg.mem.cxlPoolBandwidthGBps);
+
+    return cfg;
+}
+
+void
+printConfig(const SystemConfig &cfg, std::ostream &os)
+{
+    const auto &cc = cfg.caches;
+    const auto &mm = cfg.mem;
+    os << "Processor        " << cfg.clockGhz << " GHz, "
+       << cfg.numCores << " cores (base IPC " << cfg.baseIpc << ")\n"
+       << "L1-I/D cache     " << cc.l1Bytes / KiB << " KB per core, "
+       << cc.l1Assoc << "-way, " << cc.l1Latency << " cycles, LRU\n"
+       << "L2 cache         " << cc.l2Bytes / MiB << " MB per core, "
+       << cc.l2Assoc << "-way, " << cc.l2Latency << " cycles, LRU\n"
+       << "L3 cache         " << cc.l3SliceBytes / MiB
+       << " MB shared by every " << cc.coresPerL3Slice << " cores, "
+       << cc.l3Assoc << "-way, " << cc.l3Latency << " cycles, LRU\n"
+       << "DRAM             DDR4-3200, " << mm.ddrChannels
+       << " channels x " << mm.ddrBandwidthGBps << " GB/s, "
+       << mm.ddrLatencyNs << " ns\n"
+       << "CXL mem pool     PCIe5 x8 " << mm.cxlPoolBandwidthGBps
+       << " GB/s, +" << mm.cxlPoolLatencyNs << " ns (retimer)\n"
+       << "Toleo link       CXL2.0 IDE PCIe5 x2 "
+       << mm.toleoLinkBandwidthGBps << " GB/s, +"
+       << mm.toleoLinkLatencyNs << " ns; HMC2 "
+       << mm.toleoDramLatencyNs << " ns"
+       << (mm.ideSkidMode ? " (skid mode)" : "") << "\n"
+       << "AES engine       " << cfg.ci.crypto.aesLatency
+       << " cycles latency, 1/cycle throughput\n"
+       << "MAC cache        " << cfg.ci.macCacheBytes / KiB << " KB, "
+       << cfg.ci.macCacheAssoc << "-way, LRU\n"
+       << "L2 TLB ext.      " << cfg.toleo.stealth.tlbEntries
+       << " entries, fully assoc, +" << cfg.toleo.stealth.tlbExtBytes
+       << " B/entry\n"
+       << "Stealth buf.     " << cfg.toleo.stealth.overflowBytes / KiB
+       << " KB, " << cfg.toleo.stealth.overflowAssoc << "-way, "
+       << cfg.toleo.stealth.overflowBlockBytes << " B blocks\n"
+       << "Toleo device     "
+       << cfg.device.capacityBytes / 1000000000 << " GB capacity, "
+       << "protects " << cfg.device.protectedBytes / 1000000000000.0
+       << " TB\n";
+}
+
+} // namespace toleo

@@ -1,0 +1,92 @@
+#include "toleo/attestation.hh"
+
+namespace toleo {
+
+AesKey
+deriveSessionKey(const AesKey &ek, std::uint64_t challenge,
+                 std::uint64_t device_nonce)
+{
+    // KDF: AES(ek) over (challenge ‖ device_nonce) blocks.
+    Aes128 aes(ek);
+    AesBlock in{};
+    for (int i = 0; i < 8; ++i) {
+        in[i] = static_cast<std::uint8_t>(challenge >> (8 * i));
+        in[8 + i] = static_cast<std::uint8_t>(device_nonce >> (8 * i));
+    }
+    const AesBlock out = aes.encrypt(in);
+    AesKey key{};
+    std::copy(out.begin(), out.end(), key.begin());
+    return key;
+}
+
+DeviceIdentity::DeviceIdentity(const AesKey &endorsement_key,
+                               std::uint64_t device_id)
+    : sign_(endorsement_key), ek_(endorsement_key), id_(device_id),
+      rng_(device_id ^ 0x1de57ULL)
+{}
+
+DeviceIdentity::Response
+DeviceIdentity::attest(std::uint64_t challenge)
+{
+    Response r;
+    r.deviceId = id_;
+    r.deviceNonce = rng_.next();
+    // Sign the transcript: binds identity to this exact exchange.
+    Bytes transcript(16);
+    for (int i = 0; i < 8; ++i) {
+        transcript[i] =
+            static_cast<std::uint8_t>(r.deviceNonce >> (8 * i));
+        transcript[8 + i] = static_cast<std::uint8_t>(id_ >> (8 * i));
+    }
+    r.signature = sign_.compute(challenge, id_, transcript);
+    return r;
+}
+
+AesKey
+DeviceIdentity::sessionKey(std::uint64_t challenge,
+                           std::uint64_t device_nonce) const
+{
+    return deriveSessionKey(ek_, challenge, device_nonce);
+}
+
+HostVerifier::HostVerifier(const AesKey &endorsement_key,
+                           std::uint64_t expected_id,
+                           std::uint64_t seed)
+    : verify_(endorsement_key), ek_(endorsement_key),
+      expectedId_(expected_id), rng_(seed ^ 0x417e57ULL)
+{}
+
+std::uint64_t
+HostVerifier::challenge()
+{
+    lastChallenge_ = rng_.next();
+    challengeOutstanding_ = true;
+    return lastChallenge_;
+}
+
+std::optional<AesKey>
+HostVerifier::verify(const DeviceIdentity::Response &resp)
+{
+    if (!challengeOutstanding_)
+        return std::nullopt; // replayed or unsolicited transcript
+    challengeOutstanding_ = false;
+
+    if (resp.deviceId != expectedId_)
+        return std::nullopt;
+
+    Bytes transcript(16);
+    for (int i = 0; i < 8; ++i) {
+        transcript[i] =
+            static_cast<std::uint8_t>(resp.deviceNonce >> (8 * i));
+        transcript[8 + i] =
+            static_cast<std::uint8_t>(resp.deviceId >> (8 * i));
+    }
+    const std::uint64_t expect =
+        verify_.compute(lastChallenge_, resp.deviceId, transcript);
+    if (expect != resp.signature)
+        return std::nullopt;
+
+    return deriveSessionKey(ek_, lastChallenge_, resp.deviceNonce);
+}
+
+} // namespace toleo

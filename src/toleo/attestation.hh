@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Functional model of Toleo device attestation and IDE key exchange
+ * (Sections 3.1, 4.1).
+ *
+ * CXL IDE's TDISP protocol provides two functions Toleo depends on:
+ * establishing a trust relationship between the host and the smart
+ * memory (attestation against the device's embedded key), and
+ * exchanging the session keys that protect stealth versions in
+ * flight.  This model captures the protocol's *logic* -- challenge/
+ * response freshness, identity binding, session-key derivation --
+ * using the library's own MAC as the signature primitive (a stand-in
+ * for the device certificate chain), so tests can demonstrate that a
+ * counterfeit device or a replayed attestation transcript is
+ * rejected.
+ */
+
+#ifndef TOLEO_TOLEO_ATTESTATION_HH
+#define TOLEO_TOLEO_ATTESTATION_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hh"
+#include "crypto/modes.hh"
+
+namespace toleo {
+
+/** The device-side attestation endpoint (lives in the TCB logic). */
+class DeviceIdentity
+{
+  public:
+    /**
+     * @param endorsement_key Hardware-embedded private key (shared
+     *        with the manufacturer's verification service in this
+     *        symmetric stand-in).
+     * @param device_id Public device identifier (model/serial).
+     */
+    DeviceIdentity(const AesKey &endorsement_key,
+                   std::uint64_t device_id);
+
+    struct Response
+    {
+        std::uint64_t deviceId = 0;
+        std::uint64_t deviceNonce = 0;
+        /** Signature over (challenge, deviceNonce, deviceId). */
+        std::uint64_t signature = 0;
+    };
+
+    /** Answer a host challenge (TDISP attestation request). */
+    Response attest(std::uint64_t challenge);
+
+    /** Derive the IDE session key after successful attestation. */
+    AesKey sessionKey(std::uint64_t challenge,
+                      std::uint64_t device_nonce) const;
+
+    std::uint64_t deviceId() const { return id_; }
+
+  private:
+    Mac56 sign_;
+    AesKey ek_;
+    std::uint64_t id_;
+    Rng rng_;
+};
+
+/** The host-side verifier (trusted CPU). */
+class HostVerifier
+{
+  public:
+    /**
+     * @param endorsement_key The manufacturer-published verification
+     *        key for the expected device.
+     * @param expected_id Device the host intends to bind to.
+     */
+    HostVerifier(const AesKey &endorsement_key,
+                 std::uint64_t expected_id, std::uint64_t seed = 7);
+
+    /** Begin a handshake: returns a fresh challenge. */
+    std::uint64_t challenge();
+
+    /**
+     * Verify the device response for the *latest* challenge.
+     * @return The derived IDE session key on success, nullopt on a
+     *         forged signature, wrong device, or stale transcript.
+     */
+    std::optional<AesKey> verify(const DeviceIdentity::Response &resp);
+
+  private:
+    Mac56 verify_;
+    AesKey ek_;
+    std::uint64_t expectedId_;
+    Rng rng_;
+    std::uint64_t lastChallenge_ = 0;
+    bool challengeOutstanding_ = false;
+};
+
+/** Derive a session key from the endorsement secret and nonces. */
+AesKey deriveSessionKey(const AesKey &ek, std::uint64_t challenge,
+                        std::uint64_t device_nonce);
+
+} // namespace toleo
+
+#endif // TOLEO_TOLEO_ATTESTATION_HH

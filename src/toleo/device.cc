@@ -1,0 +1,111 @@
+#include "toleo/device.hh"
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+ToleoDevice::ToleoDevice(const ToleoDeviceConfig &cfg)
+    : cfg_(cfg), store_(cfg.trip), stats_("toleo_device")
+{
+    if (flatArrayBytes() > cfg.capacityBytes)
+        fatal("ToleoDevice: %llu B protected memory needs a flat array "
+              "larger than the device capacity",
+              static_cast<unsigned long long>(cfg.protectedBytes));
+}
+
+std::uint64_t
+ToleoDevice::read(BlockNum blk)
+{
+    ++stats_.counter("read_reqs");
+    return store_.stealth(blk);
+}
+
+TripUpdateResult
+ToleoDevice::update(BlockNum blk)
+{
+    ++stats_.counter("update_reqs");
+    auto res = store_.update(blk);
+    if (res.reset)
+        ++stats_.counter("uv_updates");
+    if (res.upgraded) {
+        ++stats_.counter("upgrades");
+        if (spaceExhausted())
+            ++stats_.counter("space_rejections");
+    }
+    notePeak();
+    return res;
+}
+
+void
+ToleoDevice::reset(PageNum page)
+{
+    ++stats_.counter("reset_reqs");
+    store_.freePage(page);
+}
+
+std::uint64_t
+ToleoDevice::fullVersion(BlockNum blk) const
+{
+    return store_.fullVersion(blk);
+}
+
+TripFormat
+ToleoDevice::formatOf(PageNum page) const
+{
+    return store_.formatOf(page);
+}
+
+std::uint64_t
+ToleoDevice::flatArrayBytes() const
+{
+    return cfg_.protectedBytes / pageSize * flatEntryBytes;
+}
+
+std::uint64_t
+ToleoDevice::dynamicCapacityBytes() const
+{
+    return cfg_.capacityBytes - flatArrayBytes();
+}
+
+bool
+ToleoDevice::spaceExhausted() const
+{
+    return store_.dynamicBytes() >= dynamicCapacityBytes();
+}
+
+std::uint64_t
+ToleoDevice::usageBytes() const
+{
+    return store_.touchedPages() * flatEntryBytes +
+           store_.dynamicBytes();
+}
+
+void
+ToleoDevice::notePeak()
+{
+    const std::uint64_t u = usageBytes();
+    if (u > peakUsage_)
+        peakUsage_ = u;
+}
+
+ToleoDevice::UsagePerTb
+ToleoDevice::usagePerTbProtected() const
+{
+    UsagePerTb out;
+    const auto b = store_.breakdown();
+    const std::uint64_t touched = store_.touchedPages();
+    if (touched == 0)
+        return out;
+    const double pages_per_tb =
+        1e12 / static_cast<double>(pageSize);
+    const double f_uneven =
+        static_cast<double>(b.uneven) / static_cast<double>(touched);
+    const double f_full =
+        static_cast<double>(b.full) / static_cast<double>(touched);
+    out.flatGb = pages_per_tb * flatEntryBytes / 1e9;
+    out.unevenGb = pages_per_tb * f_uneven * unevenEntryBytes / 1e9;
+    out.fullGb = pages_per_tb * f_full * fullEntryAllocBytes / 1e9;
+    return out;
+}
+
+} // namespace toleo

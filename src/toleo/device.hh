@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Toleo smart-memory device (Sections 4-5).
+ *
+ * A trusted PIM device behind a CXL 2.0 IDE link: a logic die with a
+ * simple in-order controller core, a D-RaNGe TRNG, and package-
+ * enclosed DRAM holding the Trip version store.  The device accepts
+ * three request types from the host (Section 5):
+ *
+ *  - READ(block)   -> stealth version;
+ *  - UPDATE(block) -> incremented stealth version (may trigger a
+ *                     stealth reset, surfaced to the host as a
+ *                     UV_UPDATE that re-encrypts the page);
+ *  - RESET(page)   -> OS-initiated downgrade to flat on page free or
+ *                     remap (scrambles old contents).
+ *
+ * Space management (Section 4.4): the flat-entry array is statically
+ * sized for the protected physical memory; uneven and full entries
+ * are allocated dynamically from the remaining capacity.  When space
+ * runs out the device rejects upgrades until the host OS downgrades
+ * inactive pages.
+ */
+
+#ifndef TOLEO_TOLEO_DEVICE_HH
+#define TOLEO_TOLEO_DEVICE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "toleo/trip.hh"
+
+namespace toleo {
+
+struct ToleoDeviceConfig
+{
+    /** Total smart-memory capacity (168 GB in the paper). */
+    std::uint64_t capacityBytes = 168ULL * 1000 * 1000 * 1000;
+    /** Conventional memory the device protects (24.8 TB of data
+     *  out of the rack's 28 TB; the rest holds MACs and UVs). */
+    std::uint64_t protectedBytes = std::uint64_t(24.8 * 1024) * GiB;
+    TripConfig trip;
+};
+
+class ToleoDevice
+{
+  public:
+    explicit ToleoDevice(const ToleoDeviceConfig &cfg);
+
+    /** READ request: current stealth version of a block. */
+    std::uint64_t read(BlockNum blk);
+
+    /** UPDATE request: increment and return the new version state. */
+    TripUpdateResult update(BlockNum blk);
+
+    /** RESET request (host OS page free/remap downgrade). */
+    void reset(PageNum page);
+
+    /** Full 64-bit version (host-side view: UV ‖ stealth). */
+    std::uint64_t fullVersion(BlockNum blk) const;
+
+    TripFormat formatOf(PageNum page) const;
+
+    /** Static flat-entry array size for the protected region. */
+    std::uint64_t flatArrayBytes() const;
+
+    /** Capacity left for dynamic uneven/full entries. */
+    std::uint64_t dynamicCapacityBytes() const;
+
+    /** Dynamic bytes currently allocated. */
+    std::uint64_t dynamicBytesUsed() const { return store_.dynamicBytes(); }
+
+    /** True when dynamic space is exhausted (host must downgrade). */
+    bool spaceExhausted() const;
+
+    /**
+     * Device usage attributable to the *touched* footprint: static
+     * flat entries for touched pages plus dynamic entries.  This is
+     * the quantity Figure 12 plots over time.
+     */
+    std::uint64_t usageBytes() const;
+    std::uint64_t peakUsageBytes() const { return peakUsage_; }
+
+    /**
+     * Peak usage normalized per TB of protected data (Figure 11),
+     * split by entry kind.  Derived from the touched footprint's
+     * Trip-format fractions.
+     */
+    struct UsagePerTb
+    {
+        double flatGb = 0.0;
+        double unevenGb = 0.0;
+        double fullGb = 0.0;
+        double totalGb() const { return flatGb + unevenGb + fullGb; }
+    };
+    UsagePerTb usagePerTbProtected() const;
+
+    TripStore &store() { return store_; }
+    const TripStore &store() const { return store_; }
+    StatGroup &stats() { return stats_; }
+    const ToleoDeviceConfig &config() const { return cfg_; }
+
+  private:
+    ToleoDeviceConfig cfg_;
+    TripStore store_;
+    StatGroup stats_;
+    std::uint64_t peakUsage_ = 0;
+
+    void notePeak();
+};
+
+} // namespace toleo
+
+#endif // TOLEO_TOLEO_DEVICE_HH

@@ -1,0 +1,55 @@
+#include "toleo/downgrade.hh"
+
+namespace toleo {
+
+double
+DowngradePolicy::usageFraction() const
+{
+    const auto cap = device_.dynamicCapacityBytes();
+    if (cap == 0)
+        return 1.0;
+    return static_cast<double>(device_.dynamicBytesUsed()) /
+           static_cast<double>(cap);
+}
+
+void
+DowngradePolicy::onUpdate(BlockNum blk)
+{
+    const PageNum page = pageOfBlock(blk);
+    const TripFormat fmt = device_.formatOf(page);
+
+    auto it = pos_.find(page);
+    if (fmt == TripFormat::Flat) {
+        // No dynamic entry (anymore): forget it.
+        if (it != pos_.end()) {
+            lru_.erase(it->second);
+            pos_.erase(it);
+        }
+        return;
+    }
+    // Move (or insert) to MRU position.
+    if (it != pos_.end())
+        lru_.erase(it->second);
+    lru_.push_front(page);
+    pos_[page] = lru_.begin();
+}
+
+unsigned
+DowngradePolicy::maintain()
+{
+    if (usageFraction() < cfg_.highWatermark)
+        return 0;
+
+    unsigned freed = 0;
+    while (usageFraction() > cfg_.lowWatermark && !lru_.empty()) {
+        const PageNum victim = lru_.back();
+        lru_.pop_back();
+        pos_.erase(victim);
+        device_.reset(victim); // RESET request: downgrade to flat
+        ++freed;
+        ++downgrades_;
+    }
+    return freed;
+}
+
+} // namespace toleo

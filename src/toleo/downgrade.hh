@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Host-OS downgrade policy for Toleo space exhaustion (Section 4.3).
+ *
+ * "In scenarios where Toleo exhausts its available space, it is the
+ * responsibility of the host OS to ask Toleo to downgrade inactive
+ * pages to flat.  If Toleo is full, it will reject update requests
+ * until sufficient space has been freed."
+ *
+ * This is the host-side daemon: it tracks recency of uneven/full
+ * pages and, when the device reports pressure, issues RESET requests
+ * for the coldest fraction.  A downgraded page's stealth version
+ * resets and UV bumps, which scrambles the old ciphertext -- so the
+ * policy must only target pages the OS knows are inactive (here:
+ * least-recently-updated).  Note the security property (Section 4.3):
+ * a *malicious* OS downgrading an active page causes MAC failures,
+ * not data leakage -- tests/test_secure_memory.cc demonstrates it.
+ */
+
+#ifndef TOLEO_TOLEO_DOWNGRADE_HH
+#define TOLEO_TOLEO_DOWNGRADE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "toleo/device.hh"
+
+namespace toleo {
+
+struct DowngradePolicyConfig
+{
+    /** Start downgrading when dynamic usage exceeds this fraction. */
+    double highWatermark = 0.9;
+    /** Downgrade until usage falls below this fraction. */
+    double lowWatermark = 0.7;
+};
+
+class DowngradePolicy
+{
+  public:
+    DowngradePolicy(ToleoDevice &device,
+                    const DowngradePolicyConfig &cfg = {})
+        : device_(device), cfg_(cfg)
+    {}
+
+    /**
+     * Note a version update (keeps the LRU recency order).  Call
+     * after every device update; cheap.
+     */
+    void onUpdate(BlockNum blk);
+
+    /**
+     * Run one maintenance pass: if the device is over the high
+     * watermark, downgrade least-recently-updated dynamic pages
+     * until below the low watermark.
+     * @return Number of pages downgraded.
+     */
+    unsigned maintain();
+
+    std::uint64_t downgrades() const { return downgrades_; }
+
+  private:
+    ToleoDevice &device_;
+    DowngradePolicyConfig cfg_;
+    /** LRU list of pages holding dynamic (uneven/full) entries. */
+    std::list<PageNum> lru_;
+    std::unordered_map<PageNum, std::list<PageNum>::iterator> pos_;
+    std::uint64_t downgrades_ = 0;
+
+    double usageFraction() const;
+};
+
+} // namespace toleo
+
+#endif // TOLEO_TOLEO_DOWNGRADE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Toleo protection engine: CI plus CXL/PIM-backed freshness.
+ *
+ * Composes on top of CiEngine (AES-XTS + MAC): every LLC fill needs
+ * the block's version to decrypt and verify; every dirty eviction
+ * increments it.  Versions come from the on-chip stealth caches when
+ * possible; misses fetch from the Toleo device over the IDE link.
+ * The shared UV travels in the MAC block (Figure 4), so it costs no
+ * extra access.  Stealth resets surface as UV_UPDATEs that re-encrypt
+ * the page (64 blocks read+written, amortized over ~2^20 writes).
+ */
+
+#ifndef TOLEO_TOLEO_ENGINE_HH
+#define TOLEO_TOLEO_ENGINE_HH
+
+#include "secmem/ci.hh"
+#include "toleo/device.hh"
+#include "toleo/stealth_cache.hh"
+
+namespace toleo {
+
+struct ToleoEngineConfig
+{
+    CiConfig ci;
+    StealthCacheConfig stealth;
+    /** CXL.mem request flit bytes on the IDE link. */
+    std::uint64_t requestBytes = 16;
+    /** Response flit bytes (one Trip entry fits in a 64 B flit). */
+    std::uint64_t responseBytes = 64;
+    /**
+     * A version UPDATE whose entry is not cached is a compact
+     * command + short response (the device increments locally and
+     * returns just the new 27-bit stealth), not a full entry fetch.
+     */
+    std::uint64_t updateRequestBytes = 16;
+    std::uint64_t updateResponseBytes = 16;
+};
+
+class ToleoEngine : public CiEngine
+{
+  public:
+    ToleoEngine(MemTopology &topo, ToleoDevice &device,
+                const ToleoEngineConfig &cfg);
+
+    MetaCost onRead(BlockNum blk) override;
+    MetaCost onWriteback(BlockNum blk) override;
+
+    bool freshness() const override { return true; }
+
+    const StealthCache &stealthCache() const { return scache_; }
+    StealthCache &stealthCache() { return scache_; }
+    ToleoDevice &device() { return device_; }
+
+    /** On-chip SRAM added over CI (TLB ext + overflow buffer). */
+    std::uint64_t addedSramBytes() const { return scache_.sramBytes(); }
+
+  private:
+    ToleoEngineConfig tcfg_;
+    ToleoDevice &device_;
+    StealthCache scache_;
+
+    /** Charge one miss-path fetch from the Toleo device. */
+    double fetchFromToleo(BlockNum blk, MetaCost &cost, bool on_read);
+};
+
+} // namespace toleo
+
+#endif // TOLEO_TOLEO_ENGINE_HH

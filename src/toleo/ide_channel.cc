@@ -1,0 +1,77 @@
+#include "toleo/ide_channel.hh"
+
+namespace toleo {
+
+namespace {
+
+/**
+ * Derive a domain-separated subkey.  Using the raw session key for
+ * both the CTR cipher and the CBC-MAC is insecure: the MAC's first
+ * CBC block equals the CTR keystream block, collapsing the tag to
+ * E(payload) independent of the sequence number (a regression test
+ * guards this).
+ */
+AesKey
+subKey(const AesKey &key, std::uint8_t domain)
+{
+    Aes128 aes(key);
+    AesBlock in{};
+    in[0] = domain;
+    const AesBlock out = aes.encrypt(in);
+    AesKey k{};
+    std::copy(out.begin(), out.end(), k.begin());
+    return k;
+}
+
+} // namespace
+
+IdeStream::IdeStream(const AesKey &key, unsigned skid_depth)
+    : cipher_(subKey(key, 0x01)), mac_(subKey(key, 0x02)),
+      skidDepth_(skid_depth)
+{}
+
+IdeFlit
+IdeStream::send(const Bytes &payload)
+{
+    IdeFlit flit;
+    // Sequence number as the stream-cipher nonce: never repeats, so
+    // equal payloads produce different ciphertexts.
+    flit.cipher = cipher_.apply(payload, sendSeq_, /*addr=*/0);
+    flit.mac = mac_.compute(sendSeq_, 0, flit.cipher);
+    ++sendSeq_;
+    return flit;
+}
+
+std::optional<Bytes>
+IdeStream::receive(const IdeFlit &flit)
+{
+    if (poisoned_)
+        return std::nullopt;
+
+    const bool ok =
+        mac_.compute(recvSeq_, 0, flit.cipher) == flit.mac;
+    Bytes payload = cipher_.apply(flit.cipher, recvSeq_, 0);
+    ++recvSeq_;
+
+    if (skidDepth_ == 0) {
+        // Strict mode: verify before release.
+        if (!ok) {
+            poisoned_ = true;
+            return std::nullopt;
+        }
+        return payload;
+    }
+
+    // Skid mode: release now, verify within skidDepth_ flits.
+    pending_.push_back(ok);
+    while (pending_.size() > skidDepth_) {
+        if (!pending_.front())
+            poisoned_ = true;
+        pending_.pop_front();
+    }
+    if (poisoned_)
+        return std::nullopt;
+    return payload;
+}
+
+} // namespace toleo

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional model of the CXL 2.0 IDE secure channel (Section 3.1).
+ *
+ * IDE protects traffic at flit granularity with a non-deterministic
+ * AES stream cipher plus MAC, giving confidentiality, integrity, and
+ * replay protection on the link.  Two properties matter for Toleo's
+ * security argument (Section 4.2):
+ *
+ *  - the stream cipher is *non-deterministic*: two transmissions of
+ *    the same stealth version yield different ciphertext, so link
+ *    snooping learns nothing (this is what lets short stealth
+ *    versions repeat safely);
+ *  - per-direction monotonic sequence numbers make replayed flits
+ *    fail their MAC.
+ *
+ * In skid mode the receiver releases payloads before the integrity
+ * check completes (checks trail by a configurable number of flits);
+ * tampering is still caught, just a few flits late -- the model lets
+ * tests observe exactly that window.
+ */
+
+#ifndef TOLEO_TOLEO_IDE_CHANNEL_HH
+#define TOLEO_TOLEO_IDE_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "crypto/modes.hh"
+
+namespace toleo {
+
+/** One encrypted flit on the link (adversary-visible). */
+struct IdeFlit
+{
+    Bytes cipher;
+    std::uint64_t mac = 0;
+};
+
+/**
+ * One direction of an IDE stream: sender side encrypts + tags,
+ * receiver side decrypts + verifies against its own expected
+ * sequence number.
+ */
+class IdeStream
+{
+  public:
+    /**
+     * @param key Session key from the TDISP exchange.
+     * @param skid_depth 0 = verify before release; N > 0 = release
+     *        payloads immediately, verification trails by up to N
+     *        flits (skid mode).
+     */
+    explicit IdeStream(const AesKey &key, unsigned skid_depth = 0);
+
+    /** Sender: protect a payload for transmission. */
+    IdeFlit send(const Bytes &payload);
+
+    /**
+     * Receiver: accept the next flit.
+     * @return The payload, or nullopt once the stream is poisoned
+     *         (a failed check latches, like the kill switch).
+     *
+     * In skid mode the payload of a tampered flit may be released,
+     * but the stream poisons within skid_depth flits -- mirroring the
+     * paper's "withhold data from the CPU until both checks are
+     * done" integration point.
+     */
+    std::optional<Bytes> receive(const IdeFlit &flit);
+
+    /** Has any integrity check failed so far? */
+    bool poisoned() const { return poisoned_; }
+
+    /** Flits released whose verification is still pending. */
+    unsigned pendingChecks() const { return pending_.size(); }
+
+  private:
+    AesCtr cipher_;
+    Mac56 mac_;
+    unsigned skidDepth_;
+    std::uint64_t sendSeq_ = 0;
+    std::uint64_t recvSeq_ = 0;
+    bool poisoned_ = false;
+    /** Deferred verification queue (skid mode). */
+    std::deque<bool> pending_;
+};
+
+} // namespace toleo
+
+#endif // TOLEO_TOLEO_IDE_CHANNEL_HH

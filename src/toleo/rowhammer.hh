@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Write-frequency tracking and rate limiting (threat model,
+ * Section 2.1: "Toleo can easily track write frequencies and perform
+ * rate limiting if it detects a Rowhammer threat").
+ *
+ * The device already sees every version UPDATE, so it is the natural
+ * vantage point for detecting hammering: a per-page counter decays
+ * over a sliding window; pages whose update rate exceeds a threshold
+ * are throttled (the device delays their responses), starving the
+ * attack without affecting well-behaved pages.  The mechanism mirrors
+ * BlockHammer-style blacklisting [66].
+ */
+
+#ifndef TOLEO_TOLEO_ROWHAMMER_HH
+#define TOLEO_TOLEO_ROWHAMMER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace toleo {
+
+struct RowhammerConfig
+{
+    /** Updates per window that mark a page as hammered. */
+    std::uint64_t threshold = 32768;
+    /** Window length in device updates (counters halve each epoch). */
+    std::uint64_t windowUpdates = 1 << 20;
+    /** Extra delay imposed on throttled pages, ns. */
+    double throttleNs = 1000.0;
+};
+
+class RowhammerGuard
+{
+  public:
+    explicit RowhammerGuard(const RowhammerConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Record one update to a page.
+     * @return The throttle delay to apply (0 for benign pages).
+     */
+    double
+    onUpdate(PageNum page)
+    {
+        if (++sinceDecay_ >= cfg_.windowUpdates)
+            decay();
+        const std::uint64_t n = ++counts_[page];
+        if (n >= cfg_.threshold) {
+            ++throttled_;
+            return cfg_.throttleNs;
+        }
+        return 0.0;
+    }
+
+    bool
+    isHammered(PageNum page) const
+    {
+        auto it = counts_.find(page);
+        return it != counts_.end() && it->second >= cfg_.threshold;
+    }
+
+    std::uint64_t throttledUpdates() const { return throttled_; }
+    std::uint64_t trackedPages() const { return counts_.size(); }
+
+  private:
+    RowhammerConfig cfg_;
+    std::unordered_map<PageNum, std::uint64_t> counts_;
+    std::uint64_t sinceDecay_ = 0;
+    std::uint64_t throttled_ = 0;
+
+    void
+    decay()
+    {
+        sinceDecay_ = 0;
+        for (auto it = counts_.begin(); it != counts_.end();) {
+            it->second /= 2;
+            if (it->second == 0)
+                it = counts_.erase(it);
+            else
+                ++it;
+        }
+    }
+};
+
+} // namespace toleo
+
+#endif // TOLEO_TOLEO_ROWHAMMER_HH

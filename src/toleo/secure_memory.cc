@@ -1,0 +1,148 @@
+#include "toleo/secure_memory.hh"
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+SecureMemory::SecureMemory(ToleoDevice &device, const AesKey &dataKey,
+                           const AesKey &tweakKey, const AesKey &macKey)
+    : device_(device), xts_(dataKey, tweakKey), mac_(macKey)
+{}
+
+unsigned
+SecureMemory::stealthBits() const
+{
+    return device_.config().trip.stealthBits;
+}
+
+std::uint64_t
+SecureMemory::macFor(const UntrustedBlock &b, Addr addr,
+                     std::uint64_t version) const
+{
+    return mac_.compute(version, blockAlign(addr), b.cipher);
+}
+
+void
+SecureMemory::reencryptPage(PageNum page, BlockNum skip)
+{
+    // UV_UPDATE handling (Section 4.3): decrypt + verify every block
+    // of the page under its pre-reset version and re-encrypt under
+    // the fresh one.  Hardware does this atomically with the reset.
+    for (unsigned i = 0; i < blocksPerPage; ++i) {
+        const BlockNum other =
+            (page << (pageBits - blockBits)) | i;
+        if (other == skip)
+            continue;
+        auto it = dram_.find(other);
+        if (it == dram_.end())
+            continue;
+        const Addr other_addr = other << blockBits;
+        const std::uint64_t old_v = encVersion_[other];
+
+        if (macFor(it->second, other_addr, old_v) != it->second.mac) {
+            killed_ = true;
+            warn("SecureMemory: MAC failure during page re-encryption "
+                 "-- kill switch");
+            return;
+        }
+        Bytes plain =
+            xts_.decrypt(it->second.cipher, old_v, other_addr);
+        const std::uint64_t new_v = device_.fullVersion(other);
+        it->second.cipher = xts_.encrypt(plain, new_v, other_addr);
+        it->second.uv = new_v >> stealthBits();
+        it->second.mac = macFor(it->second, other_addr, new_v);
+        encVersion_[other] = new_v;
+    }
+}
+
+void
+SecureMemory::write(Addr addr, const Bytes &plain)
+{
+    if (killed_)
+        return;
+    if (plain.size() != blockSize)
+        fatal("SecureMemory::write: blocks are %llu bytes",
+              static_cast<unsigned long long>(blockSize));
+
+    const Addr base = blockAlign(addr);
+    const BlockNum blk = blockOf(addr);
+
+    auto res = device_.update(blk);
+    const std::uint64_t version = res.version;
+
+    if (res.reset)
+        reencryptPage(pageOfBlock(blk), blk);
+    if (killed_)
+        return;
+
+    UntrustedBlock b;
+    b.cipher = xts_.encrypt(plain, version, base);
+    b.uv = version >> stealthBits();
+    b.mac = macFor(b, base, version);
+    dram_[blk] = b;
+    encVersion_[blk] = version;
+}
+
+std::optional<Bytes>
+SecureMemory::read(Addr addr)
+{
+    if (killed_)
+        return std::nullopt;
+
+    const Addr base = blockAlign(addr);
+    const BlockNum blk = blockOf(addr);
+
+    auto it = dram_.find(blk);
+    if (it == dram_.end())
+        return std::nullopt; // never written; not an attack
+
+    // Compose the verification version from the *untrusted* UV and
+    // the *trusted* stealth version: this is exactly the property
+    // that defeats replay -- the adversary controls UV but not
+    // stealth.
+    const std::uint64_t stealth = device_.read(blk);
+    const std::uint64_t version =
+        composeVersion(it->second.uv, stealth, stealthBits());
+
+    if (macFor(it->second, base, version) != it->second.mac) {
+        // Integrity or freshness violation: kill switch (Sec 2.1).
+        killed_ = true;
+        warn("SecureMemory: MAC check failed at %#llx -- kill switch",
+             static_cast<unsigned long long>(base));
+        return std::nullopt;
+    }
+    return xts_.decrypt(it->second.cipher, version, base);
+}
+
+void
+SecureMemory::freePage(PageNum page)
+{
+    device_.reset(page);
+}
+
+SecureMemory::UntrustedBlock
+SecureMemory::snoop(Addr addr) const
+{
+    auto it = dram_.find(blockOf(addr));
+    if (it == dram_.end())
+        return {};
+    return it->second;
+}
+
+void
+SecureMemory::inject(Addr addr, const UntrustedBlock &blk)
+{
+    dram_[blockOf(addr)] = blk;
+}
+
+void
+SecureMemory::flipCipherBit(Addr addr, unsigned bit)
+{
+    auto it = dram_.find(blockOf(addr));
+    if (it == dram_.end())
+        return;
+    it->second.cipher[bit / 8] ^= static_cast<std::uint8_t>(
+        1u << (bit % 8));
+}
+
+} // namespace toleo

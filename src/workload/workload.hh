@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload abstraction for the trace-driven simulation.
+ *
+ * The paper evaluates 12 privacy-sensitive applications (Table 2).
+ * We reproduce each with a synthetic generator that emits an infinite
+ * stream of memory references whose *statistical* properties --
+ * footprint, LLC MPKI, read/write mix, spatial locality of writes
+ * (hence Trip behaviour), and page-level reuse (hence stealth-cache
+ * behaviour) -- are calibrated to the benchmark it stands in for.
+ */
+
+#ifndef TOLEO_WORKLOAD_WORKLOAD_HH
+#define TOLEO_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace toleo {
+
+/** One memory reference emitted by a generator. */
+struct MemRef
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    /** Non-memory instructions executed since the previous ref. */
+    std::uint32_t instGap = 0;
+};
+
+/** Static description of a benchmark (reported in Table 2). */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string suite;
+    /** Paper-reported peak resident set size, bytes. */
+    std::uint64_t paperRssBytes = 0;
+    /** Paper-reported LLC misses per kilo-instruction. */
+    double paperLlcMpki = 0.0;
+    /** Footprint of the scaled simulation, bytes (per core). */
+    std::uint64_t simFootprintBytes = 0;
+    /**
+     * Memory-level parallelism factor used by the core stall model:
+     * how many outstanding misses overlap on average.
+     */
+    double mlp = 4.0;
+};
+
+/** Infinite reference-stream generator (one instance per core). */
+class TraceGen
+{
+  public:
+    explicit TraceGen(WorkloadInfo info) : info_(std::move(info)) {}
+    virtual ~TraceGen() = default;
+
+    /** Produce the next reference. */
+    virtual MemRef next() = 0;
+
+    const WorkloadInfo &info() const { return info_; }
+
+  protected:
+    WorkloadInfo info_;
+};
+
+/** Names of the 12 paper workloads, in Table 2 order. */
+const std::vector<std::string> &paperWorkloads();
+
+/**
+ * Instantiate the per-core generator for a named workload.
+ * @param name Workload name (see paperWorkloads()).
+ * @param core Core id; shifts the generator's address region and seed
+ *        so cores work on disjoint partitions.
+ * @param seed Global seed for reproducibility.
+ */
+std::unique_ptr<TraceGen> makeWorkload(const std::string &name,
+                                       unsigned core,
+                                       std::uint64_t seed);
+
+/** Table-2 metadata for a named workload (fatal on unknown name). */
+WorkloadInfo workloadInfo(const std::string &name);
+
+} // namespace toleo
+
+#endif // TOLEO_WORKLOAD_WORKLOAD_HH

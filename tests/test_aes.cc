@@ -1,0 +1,113 @@
+/**
+ * @file
+ * AES-128 known-answer tests (FIPS-197) and algebraic properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+
+using namespace toleo;
+
+namespace {
+
+AesBlock
+blockFromHex(const char *hex)
+{
+    AesBlock b{};
+    for (int i = 0; i < 16; ++i) {
+        auto nib = [&](char c) -> std::uint8_t {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            return c - 'a' + 10;
+        };
+        b[i] = static_cast<std::uint8_t>((nib(hex[2 * i]) << 4) |
+                                         nib(hex[2 * i + 1]));
+    }
+    return b;
+}
+
+} // namespace
+
+TEST(Aes, SboxKnownValues)
+{
+    // FIPS-197 Figure 7.
+    EXPECT_EQ(aesSbox(0x00), 0x63);
+    EXPECT_EQ(aesSbox(0x53), 0xed);
+    EXPECT_EQ(aesSbox(0xff), 0x16);
+    EXPECT_EQ(aesSbox(0x10), 0xca);
+}
+
+TEST(Aes, InvSboxInvertsSbox)
+{
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(aesInvSbox(aesSbox(static_cast<std::uint8_t>(i))), i);
+}
+
+TEST(Aes, GfMulKnownValues)
+{
+    // Classic examples: 0x57 * 0x83 = 0xc1 and 0x57 * 0x13 = 0xfe.
+    EXPECT_EQ(gfMul(0x57, 0x83), 0xc1);
+    EXPECT_EQ(gfMul(0x57, 0x13), 0xfe);
+    EXPECT_EQ(gfMul(0x01, 0xab), 0xab);
+    EXPECT_EQ(gfMul(0x02, 0x80), 0x1b);
+}
+
+TEST(Aes, Fips197Vector)
+{
+    // FIPS-197 Appendix B.
+    AesKey key;
+    auto kb = blockFromHex("000102030405060708090a0b0c0d0e0f");
+    std::copy(kb.begin(), kb.end(), key.begin());
+    Aes128 aes(key);
+
+    const AesBlock plain =
+        blockFromHex("00112233445566778899aabbccddeeff");
+    const AesBlock expect =
+        blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    EXPECT_EQ(aes.encrypt(plain), expect);
+    EXPECT_EQ(aes.decrypt(expect), plain);
+}
+
+TEST(Aes, RoundTripRandomBlocks)
+{
+    Rng rng(99);
+    AesKey key{};
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.next());
+    Aes128 aes(key);
+
+    for (int i = 0; i < 200; ++i) {
+        AesBlock p{};
+        for (auto &b : p)
+            b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(aes.decrypt(aes.encrypt(p)), p);
+    }
+}
+
+TEST(Aes, DifferentKeysDifferentCipher)
+{
+    AesKey k1{}, k2{};
+    k2[0] = 1;
+    Aes128 a1(k1), a2(k2);
+    AesBlock p{};
+    EXPECT_NE(a1.encrypt(p), a2.encrypt(p));
+}
+
+TEST(Aes, AvalancheOnPlaintextBit)
+{
+    AesKey key{};
+    Aes128 aes(key);
+    AesBlock p{};
+    AesBlock c1 = aes.encrypt(p);
+    p[0] ^= 1;
+    AesBlock c2 = aes.encrypt(p);
+    int diff_bits = 0;
+    for (int i = 0; i < 16; ++i)
+        diff_bits += __builtin_popcount(c1[i] ^ c2[i]);
+    // Expect roughly half the 128 bits to flip.
+    EXPECT_GT(diff_bits, 40);
+    EXPECT_LT(diff_bits, 90);
+}

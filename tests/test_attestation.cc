@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the TDISP-style attestation handshake and IDE session-key
+ * derivation (Sections 3.1, 4.1): genuine devices attest, forgeries
+ * and replays fail, both sides derive the same session key.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "toleo/attestation.hh"
+
+using namespace toleo;
+
+namespace {
+
+AesKey
+keyFrom(std::uint64_t seed)
+{
+    Rng rng(seed);
+    AesKey k{};
+    for (auto &b : k)
+        b = static_cast<std::uint8_t>(rng.next());
+    return k;
+}
+
+constexpr std::uint64_t deviceId = 0x70;
+
+} // namespace
+
+TEST(Attestation, GenuineDevicePasses)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+
+    const auto ch = host.challenge();
+    const auto resp = dev.attest(ch);
+    const auto key = host.verify(resp);
+    ASSERT_TRUE(key.has_value());
+}
+
+TEST(Attestation, BothSidesDeriveSameSessionKey)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+
+    const auto ch = host.challenge();
+    const auto resp = dev.attest(ch);
+    const auto host_key = host.verify(resp);
+    ASSERT_TRUE(host_key.has_value());
+    EXPECT_EQ(*host_key, dev.sessionKey(ch, resp.deviceNonce));
+}
+
+TEST(Attestation, CounterfeitDeviceFails)
+{
+    // Device holds the wrong endorsement key.
+    DeviceIdentity fake(keyFrom(99), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+    const auto resp = fake.attest(host.challenge());
+    EXPECT_FALSE(host.verify(resp).has_value());
+}
+
+TEST(Attestation, WrongDeviceIdFails)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId + 1);
+    HostVerifier host(keyFrom(1), deviceId);
+    const auto resp = dev.attest(host.challenge());
+    EXPECT_FALSE(host.verify(resp).has_value());
+}
+
+TEST(Attestation, ReplayedTranscriptFails)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+
+    const auto ch1 = host.challenge();
+    const auto resp1 = dev.attest(ch1);
+    ASSERT_TRUE(host.verify(resp1).has_value());
+
+    // Adversary replays the old response against a new challenge.
+    (void)host.challenge();
+    EXPECT_FALSE(host.verify(resp1).has_value());
+}
+
+TEST(Attestation, UnsolicitedResponseFails)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+    const auto resp = dev.attest(0x1234);
+    // No outstanding challenge at all.
+    EXPECT_FALSE(host.verify(resp).has_value());
+}
+
+TEST(Attestation, TamperedSignatureFails)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+    auto resp = dev.attest(host.challenge());
+    resp.signature ^= 1;
+    EXPECT_FALSE(host.verify(resp).has_value());
+}
+
+TEST(Attestation, SessionKeysDifferAcrossHandshakes)
+{
+    DeviceIdentity dev(keyFrom(1), deviceId);
+    HostVerifier host(keyFrom(1), deviceId);
+
+    const auto r1 = dev.attest(host.challenge());
+    // Consume first handshake.
+    auto k1 = host.verify(r1);
+    const auto r2 = dev.attest(host.challenge());
+    auto k2 = host.verify(r2);
+    ASSERT_TRUE(k1 && k2);
+    EXPECT_NE(*k1, *k2);
+}
+
+TEST(Attestation, KdfDependsOnAllInputs)
+{
+    const AesKey ek = keyFrom(3);
+    EXPECT_NE(deriveSessionKey(ek, 1, 2), deriveSessionKey(ek, 1, 3));
+    EXPECT_NE(deriveSessionKey(ek, 1, 2), deriveSessionKey(ek, 2, 2));
+    EXPECT_NE(deriveSessionKey(keyFrom(4), 1, 2),
+              deriveSessionKey(ek, 1, 2));
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the ToleoDevice: request handling, space management
+ * (Section 4.4), and the Figure 11 usage-normalization math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toleo/device.hh"
+
+using namespace toleo;
+
+namespace {
+
+BlockNum
+blk(PageNum pg, unsigned idx)
+{
+    return (pg << (pageBits - blockBits)) | idx;
+}
+
+ToleoDeviceConfig
+smallConfig()
+{
+    ToleoDeviceConfig cfg;
+    cfg.capacityBytes = 1000000; // 1 MB device
+    cfg.protectedBytes = 64ULL * MiB;
+    cfg.trip.resetLog2 = 63;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Device, FlatArraySizedForProtectedMemory)
+{
+    auto cfg = smallConfig();
+    ToleoDevice dev(cfg);
+    EXPECT_EQ(dev.flatArrayBytes(),
+              cfg.protectedBytes / pageSize * flatEntryBytes);
+    EXPECT_EQ(dev.dynamicCapacityBytes(),
+              cfg.capacityBytes - dev.flatArrayBytes());
+}
+
+TEST(Device, PaperScaleFlatArrayIs74GB)
+{
+    // Section 4.4: the flat array for 24.8 TB occupies 74.6 GB.
+    ToleoDeviceConfig cfg; // paper defaults
+    ToleoDevice dev(cfg);
+    const double gb = static_cast<double>(dev.flatArrayBytes()) / GiB;
+    EXPECT_NEAR(gb, 74.6, 1.0);
+}
+
+TEST(Device, OversizedProtectedMemoryIsFatal)
+{
+    ToleoDeviceConfig cfg;
+    cfg.capacityBytes = 1 * MiB;
+    cfg.protectedBytes = 1 * TiB; // needs 3 GB of flat entries
+    EXPECT_DEATH({ ToleoDevice dev(cfg); }, "flat array");
+}
+
+TEST(Device, UpdateIncrementsVersion)
+{
+    ToleoDevice dev(smallConfig());
+    const auto v0 = dev.fullVersion(blk(1, 0));
+    auto res = dev.update(blk(1, 0));
+    EXPECT_EQ(res.version, dev.fullVersion(blk(1, 0)));
+    EXPECT_NE(res.version, v0);
+}
+
+TEST(Device, ReadReturnsStealthOnly)
+{
+    auto cfg = smallConfig();
+    ToleoDevice dev(cfg);
+    dev.update(blk(1, 0));
+    const auto stealth = dev.read(blk(1, 0));
+    EXPECT_LT(stealth, 1ULL << cfg.trip.stealthBits);
+    EXPECT_EQ(stealth,
+              dev.fullVersion(blk(1, 0)) &
+                  ((1ULL << cfg.trip.stealthBits) - 1));
+}
+
+TEST(Device, ResetRequestDowngradesPage)
+{
+    ToleoDevice dev(smallConfig());
+    dev.update(blk(2, 5));
+    dev.update(blk(2, 5)); // uneven
+    ASSERT_EQ(dev.formatOf(2), TripFormat::Uneven);
+    dev.reset(2);
+    EXPECT_EQ(dev.formatOf(2), TripFormat::Flat);
+    EXPECT_EQ(dev.stats().counter("reset_reqs").value(), 1u);
+}
+
+TEST(Device, UsageGrowsWithTouchedPagesAndEntries)
+{
+    ToleoDevice dev(smallConfig());
+    EXPECT_EQ(dev.usageBytes(), 0u);
+    dev.update(blk(1, 0));
+    EXPECT_EQ(dev.usageBytes(), flatEntryBytes);
+    dev.update(blk(1, 0)); // uneven entry allocated
+    EXPECT_EQ(dev.usageBytes(), flatEntryBytes + unevenEntryBytes);
+}
+
+TEST(Device, PeakUsageIsMonotone)
+{
+    ToleoDevice dev(smallConfig());
+    dev.update(blk(1, 0));
+    dev.update(blk(1, 0));
+    const auto peak = dev.peakUsageBytes();
+    dev.reset(1); // usage drops, peak must not
+    EXPECT_LE(dev.usageBytes(), peak);
+    EXPECT_EQ(dev.peakUsageBytes(), peak);
+}
+
+TEST(Device, SpaceExhaustionDetected)
+{
+    ToleoDeviceConfig cfg = smallConfig();
+    // Flat array for 64 MiB = 16384 pages x 12 B = 196608 B; leave
+    // room for exactly one uneven entry.
+    cfg.capacityBytes = 196608 + unevenEntryBytes;
+    ToleoDevice dev(cfg);
+    EXPECT_FALSE(dev.spaceExhausted());
+    dev.update(blk(1, 0));
+    dev.update(blk(1, 0)); // first uneven entry: fills dynamic space
+    EXPECT_TRUE(dev.spaceExhausted());
+    // Host downgrade frees the space.
+    dev.reset(1);
+    EXPECT_FALSE(dev.spaceExhausted());
+}
+
+TEST(Device, UsagePerTbAllFlatMatchesArithmetic)
+{
+    ToleoDevice dev(smallConfig());
+    for (PageNum p = 0; p < 100; ++p)
+        dev.update(blk(p, 0));
+    auto u = dev.usagePerTbProtected();
+    // All pages flat: 1e12/4096 * 12 B = 2.93 GB per TB.
+    EXPECT_NEAR(u.flatGb, 1e12 / 4096 * 12 / 1e9, 1e-9);
+    EXPECT_DOUBLE_EQ(u.unevenGb, 0.0);
+    EXPECT_DOUBLE_EQ(u.fullGb, 0.0);
+}
+
+TEST(Device, UsagePerTbCountsUnevenFraction)
+{
+    ToleoDevice dev(smallConfig());
+    for (PageNum p = 0; p < 100; ++p)
+        dev.update(blk(p, 0));
+    for (PageNum p = 0; p < 10; ++p)
+        dev.update(blk(p, 0)); // 10% of pages uneven
+    auto u = dev.usagePerTbProtected();
+    EXPECT_NEAR(u.unevenGb, 1e12 / 4096 * 0.10 * 56 / 1e9, 1e-3);
+}
+
+TEST(Device, StatCountersTrackRequests)
+{
+    ToleoDevice dev(smallConfig());
+    dev.read(blk(1, 0));
+    dev.update(blk(1, 0));
+    dev.update(blk(1, 0));
+    EXPECT_EQ(dev.stats().counter("read_reqs").value(), 1u);
+    EXPECT_EQ(dev.stats().counter("update_reqs").value(), 2u);
+    EXPECT_EQ(dev.stats().counter("upgrades").value(), 1u);
+}

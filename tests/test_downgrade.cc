@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the host-OS downgrade policy (Section 4.3's space-
+ * exhaustion handling): pressure triggers LRU downgrades, the device
+ * recovers capacity, and hot pages are preserved over cold ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toleo/downgrade.hh"
+
+using namespace toleo;
+
+namespace {
+
+BlockNum
+blk(PageNum pg, unsigned idx)
+{
+    return (pg << (pageBits - blockBits)) | idx;
+}
+
+/** Device with room for exactly `n` uneven entries. */
+ToleoDevice
+deviceWithDynamicRoom(unsigned n)
+{
+    ToleoDeviceConfig cfg;
+    cfg.protectedBytes = 64ULL * MiB; // flat array 196608 B
+    cfg.capacityBytes = 196608 + n * unevenEntryBytes;
+    cfg.trip.resetLog2 = 63;
+    return ToleoDevice(cfg);
+}
+
+/** Make page pg uneven via the policy-instrumented path. */
+void
+makeUneven(ToleoDevice &dev, DowngradePolicy &pol, PageNum pg)
+{
+    dev.update(blk(pg, 0));
+    pol.onUpdate(blk(pg, 0));
+    dev.update(blk(pg, 0));
+    pol.onUpdate(blk(pg, 0));
+}
+
+} // namespace
+
+TEST(Downgrade, NoActionBelowWatermark)
+{
+    auto dev = deviceWithDynamicRoom(10);
+    DowngradePolicy pol(dev);
+    makeUneven(dev, pol, 1);
+    EXPECT_EQ(pol.maintain(), 0u);
+    EXPECT_EQ(dev.formatOf(1), TripFormat::Uneven);
+}
+
+TEST(Downgrade, PressureTriggersDowngrades)
+{
+    auto dev = deviceWithDynamicRoom(10);
+    DowngradePolicyConfig cfg;
+    cfg.highWatermark = 0.8;
+    cfg.lowWatermark = 0.4;
+    DowngradePolicy pol(dev, cfg);
+
+    for (PageNum p = 1; p <= 9; ++p)
+        makeUneven(dev, pol, p); // 9/10 entries used
+    const auto freed = pol.maintain();
+    EXPECT_GT(freed, 0u);
+    EXPECT_LE(static_cast<double>(dev.dynamicBytesUsed()),
+              0.4 * dev.dynamicCapacityBytes() + unevenEntryBytes);
+}
+
+TEST(Downgrade, LruVictimSelection)
+{
+    auto dev = deviceWithDynamicRoom(10);
+    DowngradePolicyConfig cfg;
+    cfg.highWatermark = 0.8;
+    cfg.lowWatermark = 0.75;
+    DowngradePolicy pol(dev, cfg);
+
+    for (PageNum p = 1; p <= 9; ++p)
+        makeUneven(dev, pol, p);
+    // Re-touch page 1 so page 2 is the LRU victim.
+    dev.update(blk(1, 0));
+    pol.onUpdate(blk(1, 0));
+
+    ASSERT_GT(pol.maintain(), 0u);
+    EXPECT_EQ(dev.formatOf(1), TripFormat::Uneven);  // hot: kept
+    EXPECT_EQ(dev.formatOf(2), TripFormat::Flat);    // cold: freed
+}
+
+TEST(Downgrade, RecoversFromFullDevice)
+{
+    auto dev = deviceWithDynamicRoom(4);
+    DowngradePolicy pol(dev);
+    for (PageNum p = 1; p <= 4; ++p)
+        makeUneven(dev, pol, p);
+    EXPECT_TRUE(dev.spaceExhausted());
+    EXPECT_GT(pol.maintain(), 0u);
+    EXPECT_FALSE(dev.spaceExhausted());
+}
+
+TEST(Downgrade, FlatPagesNeverTracked)
+{
+    auto dev = deviceWithDynamicRoom(4);
+    DowngradePolicy pol(dev);
+    // Single writes keep pages flat: nothing to downgrade.
+    for (PageNum p = 1; p <= 100; ++p) {
+        dev.update(blk(p, 0));
+        pol.onUpdate(blk(p, 0));
+    }
+    EXPECT_EQ(pol.maintain(), 0u);
+    EXPECT_EQ(pol.downgrades(), 0u);
+}
+
+TEST(Downgrade, DowngradedPageCanReupgrade)
+{
+    auto dev = deviceWithDynamicRoom(2);
+    DowngradePolicyConfig cfg;
+    cfg.highWatermark = 0.9;
+    cfg.lowWatermark = 0.1;
+    DowngradePolicy pol(dev, cfg);
+
+    makeUneven(dev, pol, 1);
+    makeUneven(dev, pol, 2);
+    ASSERT_GT(pol.maintain(), 0u);
+    // Freed pages can go uneven again when written irregularly.
+    makeUneven(dev, pol, 1);
+    EXPECT_EQ(dev.formatOf(1), TripFormat::Uneven);
+}

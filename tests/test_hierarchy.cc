@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the three-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/hierarchy.hh"
+
+using namespace toleo;
+
+namespace {
+
+CacheHierarchyConfig
+smallConfig()
+{
+    CacheHierarchyConfig cfg;
+    cfg.numCores = 2;
+    cfg.coresPerL3Slice = 2;
+    cfg.l1Bytes = 1 * KiB;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 4 * KiB;
+    cfg.l2Assoc = 4;
+    cfg.l3SliceBytes = 16 * KiB;
+    cfg.l3Assoc = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdMissGoesToMemory)
+{
+    CacheHierarchy h(smallConfig());
+    auto r = h.access(0, 0x1000, false);
+    EXPECT_TRUE(r.llcMiss);
+    EXPECT_EQ(r.servedBy, 4u);
+    EXPECT_EQ(h.llcMisses(), 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h(smallConfig());
+    h.access(0, 0x1000, false);
+    auto r = h.access(0, 0x1000, false);
+    EXPECT_FALSE(r.llcMiss);
+    EXPECT_EQ(r.servedBy, 1u);
+}
+
+TEST(Hierarchy, OnChipLatencyAccumulates)
+{
+    auto cfg = smallConfig();
+    CacheHierarchy h(cfg);
+    auto miss = h.access(0, 0x2000, false);
+    EXPECT_EQ(miss.onChipLatency,
+              cfg.l1Latency + cfg.l2Latency + cfg.l3Latency);
+    auto hit = h.access(0, 0x2000, false);
+    EXPECT_EQ(hit.onChipLatency, cfg.l1Latency);
+}
+
+TEST(Hierarchy, CoresShareL3Slice)
+{
+    CacheHierarchy h(smallConfig());
+    h.access(0, 0x3000, false); // core 0 fills L3
+    auto r = h.access(1, 0x3000, false);
+    EXPECT_FALSE(r.llcMiss);     // core 1 finds it in shared L3
+    EXPECT_EQ(r.servedBy, 3u);
+}
+
+TEST(Hierarchy, DirtyEvictionReachesMemoryEventually)
+{
+    auto cfg = smallConfig();
+    CacheHierarchy h(cfg);
+    // Write a block, then stream enough blocks to push it out of all
+    // levels; a writeback must surface.
+    h.access(0, 0x9999, true);
+    for (BlockNum b = 0; b < 4096; ++b)
+        h.access(0, b, false);
+    EXPECT_GE(h.llcWritebacks(), 1u);
+}
+
+TEST(Hierarchy, WritebacksCarryPreviouslyWrittenBlocks)
+{
+    CacheHierarchy h(smallConfig());
+    std::set<BlockNum> written, evicted;
+    for (BlockNum b = 0; b < 1024; ++b) {
+        auto r = h.access(0, b, true);
+        written.insert(b);
+        for (BlockNum v : r.memWritebacks) {
+            EXPECT_TRUE(written.count(v)) << "evicted unwritten " << v;
+            evicted.insert(v);
+        }
+    }
+    EXPECT_GT(evicted.size(), 0u);
+}
+
+TEST(Hierarchy, MissRateStreamingIsHigh)
+{
+    CacheHierarchy h(smallConfig());
+    for (BlockNum b = 0; b < 100000; ++b)
+        h.access(0, b, false);
+    EXPECT_GT(h.llcMissRate(), 0.95);
+}
+
+TEST(Hierarchy, ResidentWorkingSetBarelyMisses)
+{
+    CacheHierarchy h(smallConfig());
+    // Working set fits in L1 (16 lines): loop it many times.  Only
+    // compulsory (and a handful of conflict) misses may reach
+    // memory over 8000 accesses.
+    for (int it = 0; it < 1000; ++it)
+        for (BlockNum b = 0; b < 8; ++b)
+            h.access(0, b, false);
+    EXPECT_LT(h.llcMisses(), 50u);
+}
+
+TEST(Hierarchy, InvalidCoreIsFatal)
+{
+    CacheHierarchy h(smallConfig());
+    EXPECT_DEATH(h.access(7, 0, false), "out of range");
+}
+
+TEST(Hierarchy, StatsReset)
+{
+    CacheHierarchy h(smallConfig());
+    h.access(0, 1, false);
+    h.resetStats();
+    EXPECT_EQ(h.llcMisses(), 0u);
+    EXPECT_EQ(h.llcAccesses(), 0u);
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the workload pattern primitives added for the paper's
+ * locality structure: PageLocalRandom (frontier/community locality),
+ * clustered Zipf (tree layouts), and burst semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "workload/mix.hh"
+
+using namespace toleo;
+
+namespace {
+
+WorkloadInfo
+info()
+{
+    return {"t", "t", 0, 0.0, 4 * MiB, 1.0};
+}
+
+MixWorkload
+single(const StreamSpec &s, std::uint64_t seed = 1)
+{
+    return MixWorkload(info(), {{s}, 4.0}, 0, seed);
+}
+
+} // namespace
+
+TEST(PageLocal, AccessesConcentrateOnActivePages)
+{
+    StreamSpec s;
+    s.pattern = Pattern::PageLocalRandom;
+    s.regionBytes = 4 * MiB;
+    s.activePages = 8;
+    s.pageTurnover = 0.0; // frozen active set
+    auto w = single(s);
+    std::unordered_set<PageNum> pages;
+    for (int i = 0; i < 10000; ++i)
+        pages.insert(pageOf(w.next().addr));
+    EXPECT_LE(pages.size(), 8u);
+}
+
+TEST(PageLocal, TurnoverGrowsFootprint)
+{
+    StreamSpec s;
+    s.pattern = Pattern::PageLocalRandom;
+    s.regionBytes = 4 * MiB;
+    s.activePages = 8;
+    s.pageTurnover = 0.05;
+    auto w = single(s);
+    std::unordered_set<PageNum> pages;
+    for (int i = 0; i < 50000; ++i)
+        pages.insert(pageOf(w.next().addr));
+    EXPECT_GT(pages.size(), 100u);
+}
+
+TEST(PageLocal, HigherTurnoverTouchesMorePages)
+{
+    auto count = [](double turnover) {
+        StreamSpec s;
+        s.pattern = Pattern::PageLocalRandom;
+        s.regionBytes = 4 * MiB;
+        s.activePages = 8;
+        s.pageTurnover = turnover;
+        auto w = single(s, 5);
+        std::unordered_set<PageNum> pages;
+        for (int i = 0; i < 30000; ++i)
+            pages.insert(pageOf(w.next().addr));
+        return pages.size();
+    };
+    EXPECT_GT(count(0.1), count(0.01));
+}
+
+TEST(PageLocal, BurstStaysInPage)
+{
+    StreamSpec s;
+    s.pattern = Pattern::PageLocalRandom;
+    s.regionBytes = 4 * MiB;
+    s.activePages = 4;
+    s.pageTurnover = 0.02;
+    s.burstBlocks = 4;
+    auto w = single(s);
+    for (int i = 0; i < 4000; i += 4) {
+        const PageNum page = pageOf(w.next().addr);
+        for (int j = 1; j < 4; ++j)
+            EXPECT_EQ(pageOf(w.next().addr), page);
+    }
+}
+
+TEST(PageLocal, BurstBlocksAreAdjacent)
+{
+    StreamSpec s;
+    s.pattern = Pattern::PageLocalRandom;
+    s.regionBytes = 1 * MiB;
+    s.activePages = 2;
+    s.burstBlocks = 3;
+    auto w = single(s);
+    for (int i = 0; i < 300; i += 3) {
+        const Addr a0 = w.next().addr;
+        EXPECT_EQ(w.next().addr, blockAlign(a0) + blockSize);
+        EXPECT_EQ(w.next().addr, blockAlign(a0) + 2 * blockSize);
+    }
+}
+
+TEST(ZipfClustered, HotRanksAreContiguousBlocks)
+{
+    StreamSpec s;
+    s.pattern = Pattern::Zipf;
+    s.regionBytes = 4 * MiB;
+    s.theta = 1.2;
+    s.clustered = true;
+    auto w = single(s);
+    // With a clustered (tree) layout, the bulk of accesses land in
+    // the first pages of the region.
+    std::map<PageNum, int> counts;
+    PageNum first = ~PageNum{0};
+    for (int i = 0; i < 20000; ++i) {
+        const PageNum p = pageOf(w.next().addr);
+        first = std::min(first, p);
+        ++counts[p];
+    }
+    int head = 0, total = 0;
+    for (auto &[p, n] : counts) {
+        total += n;
+        if (p < first + 4)
+            head += n;
+    }
+    EXPECT_GT(static_cast<double>(head) / total, 0.5);
+}
+
+TEST(ZipfScattered, HotRanksSpreadAcrossPages)
+{
+    StreamSpec s;
+    s.pattern = Pattern::Zipf;
+    s.regionBytes = 4 * MiB;
+    s.theta = 1.2;
+    s.clustered = false;
+    auto w = single(s);
+    std::unordered_set<PageNum> pages;
+    for (int i = 0; i < 20000; ++i)
+        pages.insert(pageOf(w.next().addr));
+    // Hash layout: even the hot head spans many pages.
+    EXPECT_GT(pages.size(), 50u);
+}
+
+TEST(MixWorkload, StreamStrideRespected)
+{
+    StreamSpec s;
+    s.pattern = Pattern::StreamSeq;
+    s.regionBytes = 1 * MiB;
+    s.strideBytes = 64;
+    auto w = single(s);
+    const Addr a0 = w.next().addr;
+    EXPECT_EQ(w.next().addr, a0 + 64);
+    EXPECT_EQ(w.next().addr, a0 + 128);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace toleo;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng r(11);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.nextBounded(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 8 * 0.9);
+        EXPECT_LT(c, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, Pow2DrawProbability)
+{
+    Rng r(13);
+    // p = 2^-8; expect ~390 successes in 100k draws.
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextPow2Draw(8);
+    const double expected = n / 256.0;
+    EXPECT_GT(hits, expected * 0.7);
+    EXPECT_LT(hits, expected * 1.3);
+}
+
+TEST(Rng, Pow2DrawEdges)
+{
+    Rng r(17);
+    EXPECT_TRUE(r.nextPow2Draw(0));   // p = 1
+    EXPECT_FALSE(r.nextPow2Draw(64)); // p = 0
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(21);
+    const int n = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(22);
+    const int n = 100000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextGaussian(10.0, 3.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Zipf, DomainRespected)
+{
+    ZipfSampler z(100, 0.99, 3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.next(), 100u);
+}
+
+TEST(Zipf, HeadIsHot)
+{
+    ZipfSampler z(10000, 0.99, 5);
+    std::map<std::uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.next()];
+    // Rank 0 should be drawn far more often than a mid-tail rank.
+    EXPECT_GT(counts[0], n / 100);
+    int tail = 0;
+    for (auto &[k, v] : counts)
+        if (k > 5000)
+            tail += v;
+    EXPECT_LT(tail, counts[0] * 5);
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed)
+{
+    ZipfSampler lo(10000, 0.5, 7), hi(10000, 1.2, 7);
+    int lo_head = 0, hi_head = 0;
+    for (int i = 0; i < 50000; ++i) {
+        lo_head += (lo.next() < 10);
+        hi_head += (hi.next() < 10);
+    }
+    EXPECT_GT(hi_head, lo_head);
+}

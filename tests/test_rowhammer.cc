@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the device-side write-frequency guard (Section 2.1's
+ * Rowhammer rate-limiting assumption).
+ */
+
+#include <gtest/gtest.h>
+
+#include "toleo/rowhammer.hh"
+
+using namespace toleo;
+
+namespace {
+
+RowhammerConfig
+smallConfig()
+{
+    RowhammerConfig cfg;
+    cfg.threshold = 100;
+    cfg.windowUpdates = 10000;
+    cfg.throttleNs = 500.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Rowhammer, BenignPagesNotThrottled)
+{
+    RowhammerGuard g(smallConfig());
+    for (PageNum p = 0; p < 500; ++p)
+        EXPECT_DOUBLE_EQ(g.onUpdate(p), 0.0);
+    EXPECT_EQ(g.throttledUpdates(), 0u);
+}
+
+TEST(Rowhammer, HammeredPageThrottled)
+{
+    RowhammerGuard g(smallConfig());
+    double delay = 0.0;
+    for (int i = 0; i < 150; ++i)
+        delay = g.onUpdate(7);
+    EXPECT_DOUBLE_EQ(delay, 500.0);
+    EXPECT_TRUE(g.isHammered(7));
+    EXPECT_FALSE(g.isHammered(8));
+    EXPECT_GT(g.throttledUpdates(), 0u);
+}
+
+TEST(Rowhammer, ThresholdIsExact)
+{
+    auto cfg = smallConfig();
+    RowhammerGuard g(cfg);
+    for (std::uint64_t i = 1; i < cfg.threshold; ++i)
+        EXPECT_DOUBLE_EQ(g.onUpdate(3), 0.0) << "update " << i;
+    EXPECT_DOUBLE_EQ(g.onUpdate(3), cfg.throttleNs);
+}
+
+TEST(Rowhammer, CountersDecayOverWindow)
+{
+    auto cfg = smallConfig();
+    RowhammerGuard g(cfg);
+    // 80 updates (below threshold), then a full window of other
+    // traffic: the counter halves, so 60 more stay below threshold.
+    for (int i = 0; i < 80; ++i)
+        g.onUpdate(5);
+    for (std::uint64_t i = 0; i < cfg.windowUpdates; ++i)
+        g.onUpdate(1000 + (i % 700));
+    for (int i = 0; i < 55; ++i)
+        EXPECT_DOUBLE_EQ(g.onUpdate(5), 0.0);
+}
+
+TEST(Rowhammer, ColdPagesAreForgotten)
+{
+    auto cfg = smallConfig();
+    RowhammerGuard g(cfg);
+    g.onUpdate(9); // count 1
+    // Two decay windows: 1 -> 0 -> erased.
+    for (std::uint64_t i = 0; i < 2 * cfg.windowUpdates; ++i)
+        g.onUpdate(2000 + (i % 300));
+    EXPECT_FALSE(g.isHammered(9));
+    // Tracked set stays bounded by the active working set.
+    EXPECT_LT(g.trackedPages(), 1000u);
+}
+
+TEST(Rowhammer, SustainedAttackKeepsBeingThrottled)
+{
+    auto cfg = smallConfig();
+    RowhammerGuard g(cfg);
+    std::uint64_t throttled = 0;
+    for (int i = 0; i < 5000; ++i)
+        throttled += g.onUpdate(42) > 0.0;
+    // After warmup the attacker is throttled essentially always.
+    EXPECT_GT(throttled, 4500u);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace toleo;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, Moments)
+{
+    Accumulator a;
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Histogram, BucketsAndTails)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(0.5);
+    h.sample(5.5);
+    h.sample(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.1);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 2.0);
+}
+
+TEST(StatGroup, CountersAndRatios)
+{
+    StatGroup g("test");
+    g.counter("hits") += 3;
+    g.counter("misses") += 1;
+    EXPECT_DOUBLE_EQ(g.ratio("hits", "misses"), 3.0);
+    EXPECT_DOUBLE_EQ(g.ratio("hits", "absent"), 0.0);
+}
+
+TEST(StatGroup, DumpContainsNames)
+{
+    StatGroup g("grp");
+    g.counter("alpha") += 5;
+    g.accumulator("beta").sample(2.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp"), std::string::npos);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    EXPECT_NE(os.str().find("beta"), std::string::npos);
+}
+
+TEST(StatGroup, ResetClearsEverything)
+{
+    StatGroup g("grp");
+    g.counter("a") += 5;
+    g.accumulator("b").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counter("a").value(), 0u);
+    EXPECT_EQ(g.accumulator("b").count(), 0u);
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Integration tests on the full System: the end-to-end properties the
+ * paper's evaluation rests on -- protection overhead ordering
+ * (NoProtect < Toleo-extra < CI-extra ... InvisiMem worst), stealth
+ * cache behaviour, Trip classification, and traffic decomposition.
+ * Uses few cores / short windows so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "sim/trip_analysis.hh"
+
+using namespace toleo;
+
+namespace {
+
+SystemConfig
+smallConfig(const std::string &workload, EngineKind kind)
+{
+    SystemConfig cfg = makeScaledConfig(workload, kind, 4);
+    cfg.epochRefs = 4096;
+    return cfg;
+}
+
+SimStats
+runSmall(const std::string &workload, EngineKind kind,
+         std::uint64_t refs = 30000)
+{
+    System sys(smallConfig(workload, kind));
+    return sys.run(refs / 3, refs);
+}
+
+} // namespace
+
+TEST(System, RunsAndCountsInstructions)
+{
+    auto st = runSmall("bsw", EngineKind::NoProtect, 10000);
+    EXPECT_GT(st.instructions, 10000u * 4);
+    EXPECT_GT(st.execSeconds, 0.0);
+    EXPECT_GT(st.llcMisses, 0u);
+    EXPECT_EQ(st.engine, std::string("NoProtect"));
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    auto a = runSmall("pr", EngineKind::Toleo, 8000);
+    auto b = runSmall("pr", EngineKind::Toleo, 8000);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_DOUBLE_EQ(a.execSeconds, b.execSeconds);
+}
+
+TEST(System, ProtectionCostsOrdering)
+{
+    const auto np = runSmall("pr", EngineKind::NoProtect);
+    const auto c = runSmall("pr", EngineKind::C);
+    const auto ci = runSmall("pr", EngineKind::CI);
+    const auto tol = runSmall("pr", EngineKind::Toleo);
+
+    // Each added guarantee costs more time.
+    EXPECT_GT(c.execSeconds, np.execSeconds);
+    EXPECT_GT(ci.execSeconds, c.execSeconds);
+    EXPECT_GE(tol.execSeconds, ci.execSeconds * 0.999);
+
+    // ...but Toleo's freshness is nearly free on top of CI.
+    const double ci_over = ci.execSeconds / np.execSeconds - 1.0;
+    const double tol_over = tol.execSeconds / np.execSeconds - 1.0;
+    EXPECT_LT(tol_over - ci_over, 0.10);
+    EXPECT_GT(ci_over, 0.02);
+}
+
+TEST(System, InvisiMemCostsMoreThanToleo)
+{
+    const auto tol = runSmall("bsw", EngineKind::Toleo);
+    const auto inv = runSmall("bsw", EngineKind::InvisiMem);
+    EXPECT_GT(inv.execSeconds, tol.execSeconds);
+    EXPECT_GT(inv.dummyBpi, 0.0);
+}
+
+TEST(System, ReadLatencyBreakdownIsConsistent)
+{
+    const auto st = runSmall("bfs", EngineKind::Toleo);
+    EXPECT_GT(st.avgReadLatencyNs, 0.0);
+    EXPECT_NEAR(st.avgReadLatencyNs,
+                st.avgDramLatencyNs + st.avgMetaLatencyNs, 1e-6);
+    EXPECT_GT(st.avgDramLatencyNs, 30.0); // at least zero-load DRAM
+}
+
+TEST(System, StealthCacheHitRateHighForStreaming)
+{
+    const auto st = runSmall("bsw", EngineKind::Toleo, 60000);
+    EXPECT_GT(st.stealthCacheHitRate, 0.90);
+}
+
+TEST(System, StealthCacheWorseForKvStore)
+{
+    // The KV-store outlier behaviour (Fig 7) needs the full-scale
+    // node: 8 cores sharing the 256-entry TLB extension.
+    auto run8 = [](const char *wl) {
+        System sys(makeScaledConfig(wl, EngineKind::Toleo, 8));
+        return sys.run(30000, 60000);
+    };
+    const auto redis = run8("redis");
+    const auto bsw = run8("bsw");
+    EXPECT_LT(redis.stealthCacheHitRate, bsw.stealthCacheHitRate);
+    EXPECT_LT(redis.stealthCacheHitRate, 0.95);
+}
+
+TEST(System, TripMostPagesFlatForDp)
+{
+    const auto st = runSmall("bsw", EngineKind::Toleo, 60000);
+    const auto total = st.trip.flat + st.trip.uneven + st.trip.full;
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(st.trip.flat) / total, 0.9);
+}
+
+TEST(System, TripUnevenShowsUpForFmi)
+{
+    // Format drift needs the long cache-only mode (Section 7.2);
+    // fmi must show the worst version locality of the suite.
+    TripAnalysisConfig cfg;
+    cfg.workload = "fmi";
+    cfg.refsPerCore = 300000;
+    const auto r = runTripAnalysis(cfg);
+    EXPECT_GT(r.unevenPages, 0u);
+    EXPECT_GT(r.unevenFraction(), 0.03);
+}
+
+TEST(System, TrafficDecompositionSane)
+{
+    const auto st = runSmall("pr", EngineKind::Toleo);
+    EXPECT_GT(st.dataBpi, 0.0);
+    EXPECT_GT(st.macBpi, 0.0);
+    // Stealth traffic must be a small fraction of data traffic
+    // (Section 7.1: ~1% of off-chip bytes).
+    EXPECT_LT(st.stealthBpi, st.dataBpi * 0.2);
+    EXPECT_DOUBLE_EQ(st.dummyBpi, 0.0); // only InvisiMem pads
+}
+
+TEST(System, NoProtectHasNoMetadataTraffic)
+{
+    const auto st = runSmall("pr", EngineKind::NoProtect);
+    EXPECT_DOUBLE_EQ(st.macBpi, 0.0);
+    EXPECT_DOUBLE_EQ(st.stealthBpi, 0.0);
+}
+
+TEST(System, ToleoUsageTimelineMonotoneFootprint)
+{
+    const auto st = runSmall("bsw", EngineKind::Toleo);
+    ASSERT_GT(st.usageTimeline.size(), 4u);
+    // Touched-page usage can only grow during a run (no frees).
+    for (std::size_t i = 1; i < st.usageTimeline.size(); ++i)
+        EXPECT_GE(st.usageTimeline[i].second,
+                  st.usageTimeline[i - 1].second);
+    EXPECT_GT(st.toleoPeakUsageBytes, 0u);
+}
+
+TEST(System, MerkleWorseThanToleo)
+{
+    const auto merkle = runSmall("bfs", EngineKind::Merkle);
+    const auto tol = runSmall("bfs", EngineKind::Toleo);
+    EXPECT_GT(merkle.execSeconds, tol.execSeconds);
+    EXPECT_GT(merkle.macBpi + merkle.dataBpi, tol.dataBpi);
+}
+
+TEST(System, WarmupIsExcludedFromStats)
+{
+    System sys(smallConfig("bsw", EngineKind::Toleo));
+    auto st = sys.run(20000, 10000);
+    // Instructions counted only for the measurement phase.
+    EXPECT_LT(st.instructions, 10000u * 4 * 20);
+}
+
+TEST(System, ConfigPrinterMentionsKeyParts)
+{
+    std::ostringstream os;
+    printConfig({}, os);
+    const auto s = os.str();
+    EXPECT_NE(s.find("DDR4-3200"), std::string::npos);
+    EXPECT_NE(s.find("Toleo"), std::string::npos);
+    EXPECT_NE(s.find("skid"), std::string::npos);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the cache-only long-run Trip analyzer (the Figure 10-12 /
+ * Table 4 methodology) and the qualitative orderings the paper's
+ * Section 7.2 reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trip_analysis.hh"
+#include "workload/workload.hh"
+
+using namespace toleo;
+
+namespace {
+
+TripAnalysisResult
+quick(const std::string &wl, std::uint64_t refs = 300000)
+{
+    TripAnalysisConfig cfg;
+    cfg.workload = wl;
+    cfg.refsPerCore = refs;
+    return runTripAnalysis(cfg);
+}
+
+} // namespace
+
+TEST(TripAnalysis, FractionsSumToOne)
+{
+    const auto r = quick("pr");
+    EXPECT_NEAR(r.flatFraction() + r.unevenFraction() +
+                    r.fullFraction(),
+                1.0, 1e-9);
+    EXPECT_EQ(r.flatPages + r.unevenPages + r.fullPages,
+              r.footprintPages);
+}
+
+TEST(TripAnalysis, Deterministic)
+{
+    const auto a = quick("bfs", 100000);
+    const auto b = quick("bfs", 100000);
+    EXPECT_EQ(a.unevenPages, b.unevenPages);
+    EXPECT_EQ(a.updates, b.updates);
+    EXPECT_EQ(a.footprintPages, b.footprintPages);
+}
+
+TEST(TripAnalysis, DpWorkloadsStayFlat)
+{
+    for (const char *wl : {"bsw", "chain"}) {
+        const auto r = quick(wl);
+        EXPECT_GT(r.flatFraction(), 0.96) << wl;
+    }
+}
+
+TEST(TripAnalysis, KvStoresAreMostlyFlatOverRss)
+{
+    for (const char *wl : {"redis", "memcached"}) {
+        const auto r = quick(wl);
+        EXPECT_GT(r.flatFraction(), 0.9) << wl;
+    }
+}
+
+TEST(TripAnalysis, FmiHasWorstVersionLocality)
+{
+    const auto fmi = quick("fmi");
+    for (const char *wl : {"bsw", "chain", "dbg", "pileup", "redis",
+                           "memcached", "hyrise", "llama2-gen"}) {
+        EXPECT_GT(fmi.unevenFraction(), quick(wl).unevenFraction())
+            << wl;
+    }
+}
+
+TEST(TripAnalysis, GraphsShowUnevenPages)
+{
+    // Short windows only begin the drift; the bench runs 2M refs per
+    // core where graphs reach the paper's 10-30% band.
+    for (const char *wl : {"pr", "sssp", "bfs"}) {
+        const auto r = quick(wl);
+        EXPECT_GT(r.unevenFraction(), 0.01) << wl;
+        EXPECT_LT(r.unevenFraction(), 0.5) << wl;
+    }
+}
+
+TEST(TripAnalysis, AvgEntrySizeBounded)
+{
+    // Table 4: average entry must lie between pure-flat (12 B) and
+    // flat+uneven (68 B) for every workload.
+    for (const auto &wl : paperWorkloads()) {
+        const auto r = quick(wl, 150000);
+        EXPECT_GE(r.avgEntryBytesPerPage, 12.0) << wl;
+        EXPECT_LT(r.avgEntryBytesPerPage, 68.0) << wl;
+    }
+}
+
+TEST(TripAnalysis, UsagePerTbMatchesArithmetic)
+{
+    const auto r = quick("pr");
+    // Flat part is footprint-independent: 1e12/4096 * 12 B.
+    EXPECT_NEAR(r.flatGbPerTb, 1e12 / 4096 * 12 / 1e9, 1e-9);
+    // Uneven part follows the measured fraction.
+    EXPECT_NEAR(r.unevenGbPerTb,
+                1e12 / 4096 * r.unevenFraction() * 56 / 1e9, 1e-6);
+}
+
+TEST(TripAnalysis, TimelineIsMonotone)
+{
+    const auto r = quick("llama2-gen");
+    ASSERT_GT(r.timeline.size(), 8u);
+    for (std::size_t i = 1; i < r.timeline.size(); ++i)
+        EXPECT_GE(r.timeline[i].second, r.timeline[i - 1].second);
+}
+
+TEST(TripAnalysis, LargerFilterCacheCoalescesMoreWrites)
+{
+    TripAnalysisConfig small;
+    small.workload = "fmi";
+    small.refsPerCore = 200000;
+    small.cacheBytes = 128 * KiB;
+    TripAnalysisConfig big = small;
+    big.cacheBytes = 4 * MiB;
+    const auto rs = runTripAnalysis(small);
+    const auto rb = runTripAnalysis(big);
+    EXPECT_GT(rs.updates, rb.updates);
+}
+
+TEST(TripAnalysis, RssNeverBelowTouchedPages)
+{
+    for (const auto &wl : paperWorkloads()) {
+        const auto r = quick(wl, 100000);
+        const auto declared =
+            workloadInfo(wl).simFootprintBytes / pageSize * 8;
+        EXPECT_GE(r.footprintPages, declared) << wl;
+    }
+}
