@@ -17,15 +17,26 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "sim/sweep.hh"
 #include "sim/system.hh"
 
 namespace toleo {
 
+/** The common experiment window; maps onto SweepOptions. */
 struct BenchWindow
 {
     std::uint64_t warmupRefs = 30000;
     std::uint64_t measureRefs = 60000;
     unsigned cores = 8;
+
+    SweepOptions sweepOptions() const
+    {
+        SweepOptions opts;
+        opts.cores = cores;
+        opts.warmupRefs = warmupRefs;
+        opts.measureRefs = measureRefs;
+        return opts;
+    }
 };
 
 inline SystemConfig
@@ -35,12 +46,12 @@ benchConfig(const std::string &workload, EngineKind kind,
     return makeScaledConfig(workload, kind, cores);
 }
 
+/** Run one cell with the shared sweep API (see sim/sweep.hh). */
 inline SimStats
 runExperiment(const std::string &workload, EngineKind kind,
               const BenchWindow &w = {})
 {
-    System sys(benchConfig(workload, kind, w.cores));
-    return sys.run(w.warmupRefs, w.measureRefs);
+    return runSweepCell({workload, kind}, w.sweepOptions());
 }
 
 inline void

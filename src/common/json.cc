@@ -1,0 +1,487 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        panic("Json: asBool() on non-bool value");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ != Type::Number)
+        panic("Json: asDouble() on non-number value");
+    return num_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (type_ != Type::Number || num_ < 0)
+        panic("Json: asUint() on non-number or negative value");
+    return static_cast<std::uint64_t>(num_);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        panic("Json: asString() on non-string value");
+    return str_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    panic("Json: size() on non-container value");
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (type_ != Type::Array)
+        panic("Json: at() on non-array value");
+    if (i >= arr_.size())
+        panic("Json: index %zu out of range (size %zu)", i,
+              arr_.size());
+    return arr_[i];
+}
+
+void
+Json::push_back(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        panic("Json: push_back() on non-array value");
+    arr_.push_back(std::move(v));
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        panic("Json: operator[] on non-object value");
+    for (auto &kv : obj_)
+        if (kv.first == key)
+            return kv.second;
+    obj_.emplace_back(key, Json());
+    return obj_.back().second;
+}
+
+const Json *
+Json::get(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::items() const
+{
+    if (type_ != Type::Object)
+        panic("Json: items() on non-object value");
+    return obj_;
+}
+
+namespace {
+
+void
+dumpString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+dumpNumber(std::ostream &os, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        os << "null";
+        return;
+    }
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        os << static_cast<long long>(d);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os << buf;
+}
+
+} // namespace
+
+void
+Json::dumpIndented(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(indent * (depth + 1), ' ') : "";
+    const std::string closePad =
+        indent > 0 ? std::string(indent * depth, ' ') : "";
+    const char *nl = indent >= 0 ? "\n" : "";
+    const char *sep = indent >= 0 ? ": " : ":";
+
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        dumpNumber(os, num_);
+        break;
+      case Type::String:
+        dumpString(os, str_);
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            os << pad;
+            arr_[i].dumpIndented(os, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                os << ',';
+            os << nl;
+        }
+        os << closePad << ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            os << pad;
+            dumpString(os, obj_[i].first);
+            os << sep;
+            obj_[i].second.dumpIndented(os, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                os << ',';
+            os << nl;
+        }
+        os << closePad << '}';
+        break;
+    }
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    dumpIndented(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent parser over the document text. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err) {}
+
+    Json run()
+    {
+        Json v = value();
+        if (failed_)
+            return Json();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return Json();
+        }
+        return v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void fail(const std::string &what)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        std::ostringstream os;
+        os << "JSON parse error at offset " << pos_ << ": " << what;
+        if (err_)
+            *err_ = os.str();
+        else
+            fatal("%s", os.str().c_str());
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return number();
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        fail("unexpected character");
+        return Json();
+    }
+
+    Json object()
+    {
+        Json obj = Json::object();
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (!failed_) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                break;
+            }
+            std::string key = string();
+            if (failed_)
+                break;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                break;
+            }
+            obj[key] = value();
+            if (failed_)
+                break;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            fail("expected ',' or '}' in object");
+        }
+        return obj;
+    }
+
+    Json array()
+    {
+        Json arr = Json::array();
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (!failed_) {
+            arr.push_back(value());
+            if (failed_)
+                break;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            fail("expected ',' or ']' in array");
+        }
+        return arr;
+    }
+
+    std::string string()
+    {
+        std::string out;
+        ++pos_; // '"'
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else {
+                        fail("bad hex digit in \\u escape");
+                        return out;
+                    }
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are not needed for simulator output).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json number()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.'))
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        try {
+            return Json(std::stod(text_.substr(start, pos_ - start)));
+        } catch (...) {
+            fail("malformed number");
+            return Json();
+        }
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    if (err)
+        err->clear();
+    return Parser(text, err).run();
+}
+
+} // namespace toleo

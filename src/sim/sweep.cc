@@ -1,0 +1,153 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+SimStats
+runSweepCell(const SweepCell &cell, const SweepOptions &opts)
+{
+    SystemConfig cfg =
+        makeScaledConfig(cell.workload, cell.engine, opts.cores);
+    cfg.seed = opts.seed;
+    System sys(cfg);
+    return sys.run(opts.warmupRefs, opts.measureRefs);
+}
+
+std::vector<SweepCell>
+makeSweepGrid(const std::vector<std::string> &workloads,
+              const std::vector<EngineKind> &engines)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(workloads.size() * engines.size());
+    for (const auto &w : workloads)
+        for (const auto e : engines)
+            cells.push_back({w, e});
+    return cells;
+}
+
+std::vector<SimStats>
+runSweep(const std::vector<SweepCell> &cells,
+         const SweepOptions &opts, const SweepProgressFn &progress)
+{
+    std::vector<SimStats> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    const unsigned jobs = std::max(
+        1u, std::min<unsigned>(opts.jobs, cells.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            results[i] = runSweepCell(cells[i], opts);
+            const std::size_t d = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                progress(results[i], d, cells.size());
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+bool
+parseEngineKind(const std::string &name, EngineKind &out)
+{
+    for (const EngineKind kind : allEngineKinds()) {
+        if (name == engineKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<EngineKind> &
+allEngineKinds()
+{
+    static const std::vector<EngineKind> kinds = {
+        EngineKind::NoProtect, EngineKind::C,         EngineKind::CI,
+        EngineKind::Toleo,     EngineKind::InvisiMem, EngineKind::Merkle,
+    };
+    return kinds;
+}
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            parts.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+std::vector<EngineKind>
+parseEngineList(const std::string &csv)
+{
+    if (csv == "all")
+        return allEngineKinds();
+    std::vector<EngineKind> engines;
+    for (const auto &name : splitCsv(csv)) {
+        EngineKind kind;
+        if (!parseEngineKind(name, kind))
+            fatal("unknown engine '%s' (expected one of NoProtect, "
+                  "C, CI, Toleo, InvisiMem, Merkle)",
+                  name.c_str());
+        engines.push_back(kind);
+    }
+    if (engines.empty())
+        fatal("empty engine list");
+    return engines;
+}
+
+std::vector<std::string>
+parseWorkloadList(const std::string &csv)
+{
+    if (csv == "all")
+        return paperWorkloads();
+    std::vector<std::string> workloads = splitCsv(csv);
+    if (workloads.empty())
+        fatal("empty workload list");
+    for (const auto &name : workloads)
+        workloadInfo(name); // fatal() on unknown name
+    return workloads;
+}
+
+} // namespace toleo

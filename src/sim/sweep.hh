@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared (workload x engine) sweep runner.
+ *
+ * Every paper figure/table binary and the toleo_sim CLI evaluate a
+ * grid of cells, where each cell builds one self-contained
+ * toleo::System and runs it for a warmup + measurement window.  Cells
+ * share no mutable state, so the grid is embarrassingly parallel:
+ * runSweep() fans cells out to a pool of worker threads and returns
+ * results in deterministic row-major (workload-major) order
+ * regardless of completion order.
+ */
+
+#ifndef TOLEO_SIM_SWEEP_HH
+#define TOLEO_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace toleo {
+
+/** One grid cell: a workload evaluated under one engine. */
+struct SweepCell
+{
+    std::string workload;
+    EngineKind engine = EngineKind::Toleo;
+};
+
+struct SweepOptions
+{
+    unsigned cores = 8;
+    std::uint64_t warmupRefs = 30000;
+    std::uint64_t measureRefs = 60000;
+    std::uint64_t seed = 42;
+    /** Worker threads; cells run serially when 1. */
+    unsigned jobs = 1;
+};
+
+/** Build and run the System for one cell. */
+SimStats runSweepCell(const SweepCell &cell, const SweepOptions &opts);
+
+/**
+ * Called as each cell finishes (from the worker that ran it, under a
+ * lock, so implementations need not be thread-safe).
+ */
+using SweepProgressFn = std::function<void(
+    const SimStats &stats, std::size_t done, std::size_t total)>;
+
+/** Cross product in row-major order: workload-major, engine-minor. */
+std::vector<SweepCell> makeSweepGrid(
+    const std::vector<std::string> &workloads,
+    const std::vector<EngineKind> &engines);
+
+/**
+ * Run every cell, using opts.jobs worker threads.
+ * @return One SimStats per cell, in the order of @p cells.
+ */
+std::vector<SimStats> runSweep(const std::vector<SweepCell> &cells,
+                               const SweepOptions &opts,
+                               const SweepProgressFn &progress = {});
+
+/**
+ * Parse an engine name as printed by engineKindName().
+ * @return false if @p name is not a known engine.
+ */
+bool parseEngineKind(const std::string &name, EngineKind &out);
+
+/** All six evaluated engine configurations, Table 1 order. */
+const std::vector<EngineKind> &allEngineKinds();
+
+/**
+ * Parse a comma-separated engine list ("all" = every engine);
+ * fatal() on an unknown name.
+ */
+std::vector<EngineKind> parseEngineList(const std::string &csv);
+
+/**
+ * Parse a comma-separated workload list ("all" = the 12 paper
+ * workloads); fatal() on an unknown name.
+ */
+std::vector<std::string> parseWorkloadList(const std::string &csv);
+
+} // namespace toleo
+
+#endif // TOLEO_SIM_SWEEP_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "secmem/noprotect.hh"
@@ -326,6 +327,90 @@ makeScaledConfig(const std::string &workload, EngineKind kind,
                  cfg.mem.cxlPoolBandwidthGBps);
 
     return cfg;
+}
+
+Json
+statsToJson(const SimStats &stats)
+{
+    Json j = Json::object();
+    j["workload"] = stats.workload;
+    j["engine"] = stats.engine;
+    j["instructions"] = stats.instructions;
+    j["refs"] = stats.refs;
+    j["llcMisses"] = stats.llcMisses;
+    j["llcWritebacks"] = stats.llcWritebacks;
+    j["execSeconds"] = stats.execSeconds;
+    j["ipc"] = stats.ipc;
+    j["llcMpki"] = stats.llcMpki;
+    j["avgReadLatencyNs"] = stats.avgReadLatencyNs;
+    j["avgDramLatencyNs"] = stats.avgDramLatencyNs;
+    j["avgMetaLatencyNs"] = stats.avgMetaLatencyNs;
+    j["dataBpi"] = stats.dataBpi;
+    j["macBpi"] = stats.macBpi;
+    j["stealthBpi"] = stats.stealthBpi;
+    j["dummyBpi"] = stats.dummyBpi;
+    j["macCacheHitRate"] = stats.macCacheHitRate;
+    j["stealthCacheHitRate"] = stats.stealthCacheHitRate;
+
+    Json trip = Json::object();
+    trip["flatPages"] = stats.trip.flat;
+    trip["unevenPages"] = stats.trip.uneven;
+    trip["fullPages"] = stats.trip.full;
+    j["trip"] = std::move(trip);
+
+    Json usage = Json::object();
+    usage["flatGbPerTb"] = stats.usagePerTb.flatGb;
+    usage["unevenGbPerTb"] = stats.usagePerTb.unevenGb;
+    usage["fullGbPerTb"] = stats.usagePerTb.fullGb;
+    usage["totalGbPerTb"] = stats.usagePerTb.totalGb();
+    j["usagePerTb"] = std::move(usage);
+
+    j["toleoPeakUsageBytes"] = stats.toleoPeakUsageBytes;
+    j["avgEntryBytesPerPage"] = stats.avgEntryBytesPerPage;
+    j["toleoResets"] = stats.toleoResets;
+    j["toleoUpgrades"] = stats.toleoUpgrades;
+
+    Json timeline = Json::array();
+    for (const auto &sample : stats.usageTimeline) {
+        Json point = Json::array();
+        point.push_back(sample.first);
+        point.push_back(sample.second);
+        timeline.push_back(std::move(point));
+    }
+    j["usageTimeline"] = std::move(timeline);
+    return j;
+}
+
+std::string
+statsCsvHeader()
+{
+    return "workload,engine,instructions,refs,llcMisses,"
+           "llcWritebacks,execSeconds,ipc,llcMpki,avgReadLatencyNs,"
+           "avgDramLatencyNs,avgMetaLatencyNs,dataBpi,macBpi,"
+           "stealthBpi,dummyBpi,macCacheHitRate,stealthCacheHitRate,"
+           "tripFlatPages,tripUnevenPages,tripFullPages,"
+           "toleoPeakUsageBytes,avgEntryBytesPerPage,toleoResets,"
+           "toleoUpgrades";
+}
+
+std::string
+statsCsvRow(const SimStats &stats)
+{
+    std::ostringstream os;
+    os << stats.workload << ',' << stats.engine << ','
+       << stats.instructions << ',' << stats.refs << ','
+       << stats.llcMisses << ',' << stats.llcWritebacks << ','
+       << stats.execSeconds << ',' << stats.ipc << ','
+       << stats.llcMpki << ',' << stats.avgReadLatencyNs << ','
+       << stats.avgDramLatencyNs << ',' << stats.avgMetaLatencyNs
+       << ',' << stats.dataBpi << ',' << stats.macBpi << ','
+       << stats.stealthBpi << ',' << stats.dummyBpi << ','
+       << stats.macCacheHitRate << ',' << stats.stealthCacheHitRate
+       << ',' << stats.trip.flat << ',' << stats.trip.uneven << ','
+       << stats.trip.full << ',' << stats.toleoPeakUsageBytes << ','
+       << stats.avgEntryBytesPerPage << ',' << stats.toleoResets
+       << ',' << stats.toleoUpgrades;
+    return os.str();
 }
 
 void

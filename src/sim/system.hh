@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "mem/topology.hh"
 #include "secmem/ci.hh"
@@ -165,6 +166,19 @@ class System
 
 /** Pretty-print the Table 3 configuration. */
 void printConfig(const SystemConfig &cfg, std::ostream &os);
+
+/**
+ * Serialize the full SimStats record to JSON, including the Trip
+ * breakdown, per-TB usage, and the usage timeline — the
+ * machine-readable substrate for sweep drivers and perf tracking.
+ */
+Json statsToJson(const SimStats &stats);
+
+/** Column names of the flat (scalar-only) CSV stats record. */
+std::string statsCsvHeader();
+
+/** One CSV row matching statsCsvHeader(); no trailing newline. */
+std::string statsCsvRow(const SimStats &stats);
 
 /**
  * Build a scaled simulation node.

@@ -1,0 +1,39 @@
+cmake_minimum_required(VERSION 3.16)
+
+# Include-convention lint, run as the ctest "include_convention"
+# test.  Quoted includes must resolve against one of the two include
+# roots the build defines:
+#   - src-relative for library headers:  "common/logging.hh"
+#   - repo-root-relative outside src/:   "bench/bench_util.hh"
+# Anything else ("bench_util.hh", "../sim/system.hh") would compile
+# only by accident of the including file's directory.
+set(repo_root "${CMAKE_CURRENT_LIST_DIR}/..")
+set(allowed_prefixes
+    cache common crypto mem secmem sim toleo workload bench)
+
+file(GLOB_RECURSE sources
+  "${repo_root}/src/*.cc" "${repo_root}/src/*.hh"
+  "${repo_root}/tests/*.cc" "${repo_root}/bench/*.cc"
+  "${repo_root}/bench/*.hh" "${repo_root}/examples/*.cpp"
+  "${repo_root}/tools/*.cc")
+
+set(bad "")
+foreach(source IN LISTS sources)
+  file(STRINGS "${source}" lines REGEX "^#include \"")
+  foreach(line IN LISTS lines)
+    string(REGEX MATCH "#include \"([^\"]+)\"" _ "${line}")
+    set(path "${CMAKE_MATCH_1}")
+    string(REGEX MATCH "^([^/]+)/" _ "${path}")
+    set(prefix "${CMAKE_MATCH_1}")
+    if(NOT prefix IN_LIST allowed_prefixes)
+      list(APPEND bad "${source}: ${line}")
+    endif()
+  endforeach()
+endforeach()
+
+if(bad)
+  list(JOIN bad "\n  " bad_text)
+  message(FATAL_ERROR
+    "non-conforming #include paths (want src-relative or "
+    "repo-root-relative):\n  ${bad_text}")
+endif()

@@ -87,8 +87,12 @@ TEST_P(WorkloadInvariants, VersionsAdvanceUnderWriteback)
     System sys(makeScaledConfig(GetParam(), EngineKind::Toleo, 4));
     auto st = sys.run(10000, 20000);
     // Any workload that writes must advance versions in the device.
-    if (st.llcWritebacks > 0)
+    // The braces matter: gtest's EXPECT_* macros expand to an
+    // if/else, which a brace-less enclosing if turns into
+    // -Wdangling-else.
+    if (st.llcWritebacks > 0) {
         EXPECT_GT(sys.device()->store().updates(), 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

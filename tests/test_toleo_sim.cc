@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Smoke tests for the toleo_sim sweep driver: the JSON library it
+ * emits with, the shared sweep API it drives, and the installed
+ * binary end-to-end (exec'd, output parsed back).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+
+using namespace toleo;
+
+TEST(Json, RoundTrip)
+{
+    Json doc = Json::object();
+    doc["name"] = "toleo";
+    doc["pi"] = 3.25;
+    doc["count"] = std::uint64_t{42};
+    doc["ok"] = true;
+    doc["none"] = Json();
+    Json arr = Json::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    doc["arr"] = std::move(arr);
+
+    for (const int indent : {-1, 2}) {
+        std::string err;
+        const Json back = Json::parse(doc.dump(indent), &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back.get("name")->asString(), "toleo");
+        EXPECT_DOUBLE_EQ(back.get("pi")->asDouble(), 3.25);
+        EXPECT_EQ(back.get("count")->asUint(), 42u);
+        EXPECT_TRUE(back.get("ok")->asBool());
+        EXPECT_TRUE(back.get("none")->isNull());
+        EXPECT_EQ(back.get("arr")->size(), 2u);
+        EXPECT_EQ(back.get("arr")->at(1).asString(), "two");
+    }
+}
+
+TEST(Json, StringEscapes)
+{
+    const Json doc("a\"b\\c\nd\te");
+    std::string err;
+    const Json back = Json::parse(doc.dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.asString(), "a\"b\\c\nd\te");
+
+    const Json uni = Json::parse("\"\\u0041\\u00e9\"", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(uni.asString(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrors)
+{
+    std::string err;
+    EXPECT_TRUE(Json::parse("{\"a\":", &err).isNull());
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(Json::parse("[1,2,]x", &err).isNull());
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(Json::parse("tru", &err).isNull());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SweepApi, EngineAndWorkloadParsing)
+{
+    EngineKind kind;
+    ASSERT_TRUE(parseEngineKind("Toleo", kind));
+    EXPECT_EQ(kind, EngineKind::Toleo);
+    EXPECT_FALSE(parseEngineKind("toleo", kind));
+    EXPECT_FALSE(parseEngineKind("", kind));
+
+    EXPECT_EQ(parseEngineList("all").size(), 6u);
+    const auto two = parseEngineList("NoProtect,Merkle");
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0], EngineKind::NoProtect);
+    EXPECT_EQ(two[1], EngineKind::Merkle);
+
+    EXPECT_EQ(parseWorkloadList("all"), paperWorkloads());
+    const auto w = parseWorkloadList("bsw,dbg");
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], "bsw");
+    EXPECT_EQ(w[1], "dbg");
+}
+
+TEST(SweepApi, GridIsRowMajor)
+{
+    const auto cells = makeSweepGrid(
+        {"bsw", "dbg"}, {EngineKind::NoProtect, EngineKind::Toleo});
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].workload, "bsw");
+    EXPECT_EQ(cells[0].engine, EngineKind::NoProtect);
+    EXPECT_EQ(cells[1].workload, "bsw");
+    EXPECT_EQ(cells[1].engine, EngineKind::Toleo);
+    EXPECT_EQ(cells[3].workload, "dbg");
+    EXPECT_EQ(cells[3].engine, EngineKind::Toleo);
+}
+
+namespace {
+
+SweepOptions
+tinyWindow()
+{
+    SweepOptions opts;
+    opts.cores = 2;
+    opts.warmupRefs = 500;
+    opts.measureRefs = 2000;
+    return opts;
+}
+
+} // namespace
+
+TEST(SweepApi, ParallelMatchesSerial)
+{
+    const auto cells = makeSweepGrid(
+        {"bsw", "dbg"}, {EngineKind::NoProtect, EngineKind::Toleo});
+
+    SweepOptions serial = tinyWindow();
+    serial.jobs = 1;
+    SweepOptions parallel = tinyWindow();
+    parallel.jobs = 4;
+
+    std::size_t calls = 0;
+    const auto a = runSweep(cells, serial,
+                            [&](const SimStats &, std::size_t done,
+                                std::size_t total) {
+                                ++calls;
+                                EXPECT_LE(done, total);
+                            });
+    const auto b = runSweep(cells, parallel);
+
+    EXPECT_EQ(calls, cells.size());
+    ASSERT_EQ(a.size(), cells.size());
+    ASSERT_EQ(b.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        // Cells are deterministic given the seed, so thread fan-out
+        // must not change any result.
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].engine, b[i].engine);
+        EXPECT_EQ(a[i].instructions, b[i].instructions);
+        EXPECT_EQ(a[i].llcMisses, b[i].llcMisses);
+        EXPECT_DOUBLE_EQ(a[i].ipc, b[i].ipc);
+        EXPECT_GT(a[i].ipc, 0.0);
+        EXPECT_GT(a[i].llcMpki, 0.0);
+    }
+}
+
+TEST(SweepApi, StatsSerializeRoundTrip)
+{
+    SweepOptions opts = tinyWindow();
+    const SimStats stats =
+        runSweepCell({"bsw", EngineKind::Toleo}, opts);
+
+    std::string err;
+    const Json j = Json::parse(statsToJson(stats).dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.get("workload")->asString(), "bsw");
+    EXPECT_EQ(j.get("engine")->asString(), "Toleo");
+    EXPECT_DOUBLE_EQ(j.get("ipc")->asDouble(), stats.ipc);
+    EXPECT_EQ(j.get("llcMisses")->asUint(), stats.llcMisses);
+    EXPECT_EQ(j.get("usageTimeline")->size(),
+              stats.usageTimeline.size());
+
+    const std::string row = statsCsvRow(stats);
+    EXPECT_NE(row.find("bsw,Toleo,"), std::string::npos);
+    // Header and row have the same number of columns.
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(statsCsvHeader()), commas(row));
+}
+
+#ifdef TOLEO_SIM_BIN
+
+TEST(ToleoSimBinary, TinySweepEmitsValidJson)
+{
+    const std::string out =
+        ::testing::TempDir() + "/toleo_sim_smoke.json";
+    const std::string cmd =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --workloads bsw,dbg --engines NoProtect,Toleo"
+        " --cores 2 --warmup 500 --measure 2000 --jobs 4 --quiet"
+        " --out \"" + out + "\"";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good()) << "missing output file " << out;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::string err;
+    const Json doc = Json::parse(text.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    ASSERT_TRUE(doc.has("config"));
+    EXPECT_EQ(doc.get("config")->get("jobs")->asUint(), 4u);
+    EXPECT_EQ(doc.get("config")->get("cells")->asUint(), 4u);
+
+    const Json *results = doc.get("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->size(), 4u);
+    for (std::size_t i = 0; i < results->size(); ++i) {
+        const Json &r = results->at(i);
+        EXPECT_GT(r.get("ipc")->asDouble(), 0.0);
+        EXPECT_GT(r.get("llcMpki")->asDouble(), 0.0);
+        EXPECT_GT(r.get("instructions")->asUint(), 0u);
+    }
+    // Row-major cell order survives the parallel run.
+    EXPECT_EQ(results->at(0).get("workload")->asString(), "bsw");
+    EXPECT_EQ(results->at(0).get("engine")->asString(), "NoProtect");
+    EXPECT_EQ(results->at(3).get("workload")->asString(), "dbg");
+    EXPECT_EQ(results->at(3).get("engine")->asString(), "Toleo");
+
+    std::remove(out.c_str());
+}
+
+TEST(ToleoSimBinary, CsvAndBadArgs)
+{
+    const std::string out =
+        ::testing::TempDir() + "/toleo_sim_smoke.csv";
+    const std::string cmd =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --workloads bsw --engines Toleo --cores 2"
+        " --warmup 500 --measure 2000 --format csv --quiet"
+        " --out \"" + out + "\"";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_EQ(header, statsCsvHeader());
+    EXPECT_EQ(row.rfind("bsw,Toleo,", 0), 0u);
+    std::remove(out.c_str());
+
+    // Unknown engines must fail loudly, not emit empty results.
+    const std::string bad =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --engines Bogus --quiet > /dev/null 2>&1";
+    EXPECT_NE(std::system(bad.c_str()), 0);
+}
+
+#endif // TOLEO_SIM_BIN

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * toleo_sim: the parallel sweep driver.
+ *
+ * Replaces serially running the 20 bench/ figure binaries when all
+ * you want is the raw numbers: evaluates a (workload x engine) grid,
+ * fanning the cells out to worker threads (each cell's toleo::System
+ * is self-contained), and emits the full SimStats record for every
+ * cell as JSON or CSV.  Typical use:
+ *
+ *   toleo_sim --workloads bsw,dbg --engines NoProtect,Toleo --jobs 4
+ *   toleo_sim --workloads all --engines all --jobs 8 --format csv
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+
+using namespace toleo;
+
+namespace {
+
+struct CliOptions
+{
+    std::string workloads = "bsw";
+    std::string engines = "all";
+    SweepOptions sweep;
+    std::string format = "json";
+    std::string outPath; ///< empty = stdout
+    bool progress = true;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Run a (workload x engine) sweep of the Toleo model and emit\n"
+        "one SimStats record per cell.\n"
+        "\n"
+        "options:\n"
+        "  --workloads LIST  comma-separated workload names, or 'all'\n"
+        "                    for the 12 paper workloads (default: bsw)\n"
+        "  --engines LIST    comma-separated engines out of NoProtect,\n"
+        "                    C, CI, Toleo, InvisiMem, Merkle, or 'all'\n"
+        "                    (default: all)\n"
+        "  --cores N         simulated cores per cell (default: 8)\n"
+        "  --warmup N        warmup references per core (default: 30000)\n"
+        "  --measure N       measured references per core (default: 60000)\n"
+        "  --jobs N          worker threads (default: hardware threads)\n"
+        "  --seed N          simulation seed (default: 42)\n"
+        "  --format FMT      json or csv (default: json)\n"
+        "  --out FILE        write results to FILE instead of stdout\n"
+        "  --quiet           suppress per-cell progress on stderr\n"
+        "  --list            list known workloads and engines, then exit\n"
+        "  --help            this message\n",
+        argv0);
+}
+
+std::uint64_t
+parseUint(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    // strtoull silently wraps "-1" to a huge value; reject it here.
+    if (end == text || *end != '\0' ||
+        std::strchr(text, '-') != nullptr)
+        fatal("%s: expected a non-negative integer, got '%s'", flag,
+              text);
+    return v;
+}
+
+const char *
+nextArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal("%s requires an argument", argv[i]);
+    return argv[++i];
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts.sweep.jobs = hw ? hw : 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--workloads")) {
+            opts.workloads = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--engines")) {
+            opts.engines = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--cores")) {
+            opts.sweep.cores = static_cast<unsigned>(
+                parseUint(arg, nextArg(argc, argv, i)));
+            if (opts.sweep.cores == 0)
+                fatal("--cores must be positive");
+        } else if (!std::strcmp(arg, "--warmup")) {
+            opts.sweep.warmupRefs =
+                parseUint(arg, nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--measure")) {
+            opts.sweep.measureRefs =
+                parseUint(arg, nextArg(argc, argv, i));
+            if (opts.sweep.measureRefs == 0)
+                fatal("--measure must be positive");
+        } else if (!std::strcmp(arg, "--jobs")) {
+            opts.sweep.jobs = static_cast<unsigned>(
+                parseUint(arg, nextArg(argc, argv, i)));
+            if (opts.sweep.jobs == 0)
+                fatal("--jobs must be positive");
+        } else if (!std::strcmp(arg, "--seed")) {
+            opts.sweep.seed = parseUint(arg, nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--format")) {
+            opts.format = nextArg(argc, argv, i);
+            if (opts.format != "json" && opts.format != "csv")
+                fatal("--format must be json or csv");
+        } else if (!std::strcmp(arg, "--out")) {
+            opts.outPath = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--quiet")) {
+            opts.progress = false;
+        } else if (!std::strcmp(arg, "--list")) {
+            std::printf("workloads:");
+            for (const auto &w : paperWorkloads())
+                std::printf(" %s", w.c_str());
+            std::printf("\nengines:  ");
+            for (const EngineKind e : allEngineKinds())
+                std::printf(" %s", engineKindName(e));
+            std::printf("\n");
+            std::exit(0);
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", arg);
+        }
+    }
+    return opts;
+}
+
+void
+emitJson(const CliOptions &opts, const std::vector<SweepCell> &cells,
+         const std::vector<SimStats> &results, double wall_seconds,
+         std::ostream &os)
+{
+    Json doc = Json::object();
+    doc["tool"] = "toleo_sim";
+
+    Json cfg = Json::object();
+    cfg["cores"] = opts.sweep.cores;
+    cfg["warmupRefs"] = opts.sweep.warmupRefs;
+    cfg["measureRefs"] = opts.sweep.measureRefs;
+    cfg["seed"] = opts.sweep.seed;
+    cfg["jobs"] = opts.sweep.jobs;
+    cfg["cells"] = static_cast<std::uint64_t>(cells.size());
+    doc["config"] = std::move(cfg);
+
+    Json arr = Json::array();
+    for (const auto &stats : results)
+        arr.push_back(statsToJson(stats));
+    doc["results"] = std::move(arr);
+    doc["wallSeconds"] = wall_seconds;
+
+    doc.dump(os, 2);
+    os << "\n";
+}
+
+void
+emitCsv(const std::vector<SimStats> &results, std::ostream &os)
+{
+    os << statsCsvHeader() << "\n";
+    for (const auto &stats : results)
+        os << statsCsvRow(stats) << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const CliOptions opts = parseArgs(argc, argv);
+
+    const auto workloads = parseWorkloadList(opts.workloads);
+    const auto engines = parseEngineList(opts.engines);
+    const auto cells = makeSweepGrid(workloads, engines);
+
+    SweepProgressFn progress;
+    if (opts.progress) {
+        progress = [](const SimStats &stats, std::size_t done,
+                      std::size_t total) {
+            std::fprintf(stderr,
+                         "[%zu/%zu] %s/%s: ipc %.3f, mpki %.1f\n",
+                         done, total, stats.workload.c_str(),
+                         stats.engine.c_str(), stats.ipc,
+                         stats.llcMpki);
+        };
+    }
+
+    // Open the output before the sweep so a bad path fails in
+    // milliseconds, not after minutes of simulation.
+    std::ofstream file;
+    if (!opts.outPath.empty()) {
+        file.open(opts.outPath);
+        if (!file)
+            fatal("cannot open output file '%s'",
+                  opts.outPath.c_str());
+    }
+    std::ostream &os = opts.outPath.empty() ? std::cout : file;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runSweep(cells, opts.sweep, progress);
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (opts.format == "csv")
+        emitCsv(results, os);
+    else
+        emitJson(opts, cells, results, wall_seconds, os);
+    os.flush();
+    if (!os)
+        fatal("error writing results%s%s",
+              opts.outPath.empty() ? "" : " to ",
+              opts.outPath.c_str());
+
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "%zu cells, %u jobs, %.2fs wall clock\n",
+                     cells.size(), opts.sweep.jobs, wall_seconds);
+    return 0;
+}
