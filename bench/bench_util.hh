@@ -28,6 +28,7 @@ struct BenchWindow
     std::uint64_t warmupRefs = 30000;
     std::uint64_t measureRefs = 60000;
     unsigned cores = 8;
+    std::uint64_t seed = 42;
 
     SweepOptions sweepOptions() const
     {
@@ -35,6 +36,7 @@ struct BenchWindow
         opts.cores = cores;
         opts.warmupRefs = warmupRefs;
         opts.measureRefs = measureRefs;
+        opts.seed = seed;
         return opts;
     }
 };

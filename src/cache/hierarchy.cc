@@ -18,18 +18,20 @@ CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &cfg)
     for (unsigned s = 0; s < slices; ++s)
         l3_.push_back(SetAssocCache::fromCapacity(cfg.l3SliceBytes,
                                                   blockSize, cfg.l3Assoc));
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        l3SliceOf_.push_back(c / cfg.coresPerL3Slice);
 }
 
 SetAssocCache &
 CacheHierarchy::l3SliceFor(unsigned core)
 {
-    return l3_[core / cfg_.coresPerL3Slice];
+    return l3_[l3SliceOf_[core]];
 }
 
 const SetAssocCache &
 CacheHierarchy::l3SliceFor(unsigned core) const
 {
-    return l3_[core / cfg_.coresPerL3Slice];
+    return l3_[l3SliceOf_[core]];
 }
 
 HierarchyResult
@@ -39,51 +41,20 @@ CacheHierarchy::access(unsigned core, BlockNum blk, bool is_write)
         panic("CacheHierarchy: core %u out of range", core);
 
     HierarchyResult res;
-    res.onChipLatency = cfg_.l1Latency;
+    const PrivateAccessResult priv = accessPrivate(core, blk, is_write);
+    accessShared(core, blk, priv, res);
 
-    auto r1 = l1_[core].access(blk, is_write);
-    if (r1.hit) {
+    if (priv.l1Hit) {
         res.servedBy = 1;
-        return res;
-    }
-    // A dirty L1 victim merges into L2 if resident there, otherwise
-    // (non-inclusive hierarchy) it spills straight to memory.
-    if (r1.writebackTag) {
-        if (l2_[core].contains(*r1.writebackTag))
-            l2_[core].markDirty(*r1.writebackTag);
-        else if (l3SliceFor(core).contains(*r1.writebackTag))
-            l3SliceFor(core).markDirty(*r1.writebackTag);
-        else
-            res.memWritebacks.push_back(*r1.writebackTag);
-    }
-
-    // Lower levels fill *clean*: the dirty bit lives in L1 and
-    // travels down on eviction, so each store produces exactly one
-    // eventual memory writeback.
-    res.onChipLatency += cfg_.l2Latency;
-    auto r2 = l2_[core].access(blk, false);
-    if (r2.hit) {
+        res.onChipLatency = cfg_.l1Latency;
+    } else if (!priv.l2Miss) {
         res.servedBy = 2;
-        return res;
+        res.onChipLatency = cfg_.l1Latency + cfg_.l2Latency;
+    } else {
+        res.servedBy = res.llcMiss ? 4 : 3;
+        res.onChipLatency =
+            cfg_.l1Latency + cfg_.l2Latency + cfg_.l3Latency;
     }
-    if (r2.writebackTag) {
-        if (l3SliceFor(core).contains(*r2.writebackTag))
-            l3SliceFor(core).markDirty(*r2.writebackTag);
-        else
-            res.memWritebacks.push_back(*r2.writebackTag);
-    }
-
-    res.onChipLatency += cfg_.l3Latency;
-    auto r3 = l3SliceFor(core).access(blk, false);
-    if (r3.hit) {
-        res.servedBy = 3;
-        return res;
-    }
-
-    res.servedBy = 4;
-    res.llcMiss = true;
-    if (r3.writebackTag)
-        res.memWritebacks.push_back(*r3.writebackTag);
     return res;
 }
 

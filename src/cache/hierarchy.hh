@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/set_assoc.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace toleo {
@@ -34,6 +35,38 @@ struct CacheHierarchyConfig
     Cycles l3Latency = 49;
 };
 
+/**
+ * Dirty blocks leaving the chip on one access.  One access can spill
+ * at most one victim per cache level (L1, L2, L3), so a fixed inline
+ * array suffices -- a std::vector here would allocate on every miss
+ * path, which is most of the simulator's heap traffic.
+ */
+class WritebackList
+{
+  public:
+    void
+    push_back(BlockNum blk)
+    {
+        if (count_ >= maxWritebacks)
+            panic("WritebackList: more than %u victims in one access",
+                  maxWritebacks);
+        blocks_[count_++] = blk;
+    }
+
+    const BlockNum *begin() const { return blocks_; }
+    const BlockNum *end() const { return blocks_ + count_; }
+    unsigned size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+  private:
+    /** One potential victim per level: L1, L2, L3. */
+    static constexpr unsigned maxWritebacks = 3;
+
+    /** Only entries below count_ are ever read: no zero-init. */
+    BlockNum blocks_[maxWritebacks];
+    unsigned count_ = 0;
+};
+
 /** What the hierarchy asks the memory system to do for one access. */
 struct HierarchyResult
 {
@@ -48,7 +81,30 @@ struct HierarchyResult
      * and/or dirty upper-level victims spilling past a
      * non-inclusive lower level straight to memory.
      */
-    std::vector<BlockNum> memWritebacks;
+    WritebackList memWritebacks;
+};
+
+/**
+ * Outcome of the core-private (L1 + L2) part of one access.
+ *
+ * The hierarchy splits into a private half and a shared half so the
+ * simulation driver can run each core's references in a batch
+ * (L1/L2 state is per-core, so batching cannot reorder anything
+ * observable) and then replay the shared-L3/memory work in the
+ * original global reference order.
+ */
+struct PrivateAccessResult
+{
+    /** Dirty victims that missed the private levels: L3 must be
+     *  probed, and on a probe miss they leave the chip. */
+    BlockNum spills[2];
+    std::uint8_t numSpills = 0;
+    /** Served by L1: no private spill, no shared work. */
+    bool l1Hit = false;
+    /** Missed L2 as well: the shared L3 slice must be accessed. */
+    bool l2Miss = false;
+
+    bool needsShared() const { return numSpills > 0 || l2Miss; }
 };
 
 class CacheHierarchy
@@ -58,11 +114,71 @@ class CacheHierarchy
 
     /**
      * Run one load/store from a core through L1 -> L2 -> L3.
+     * Equivalent to accessPrivate() immediately followed by
+     * accessShared(); batching drivers call the halves directly.
      * @param core Issuing core id.
      * @param blk Cache-block number accessed.
      * @param is_write Store (marks lines dirty).
      */
     HierarchyResult access(unsigned core, BlockNum blk, bool is_write);
+
+    /**
+     * Private half: L1 access, dirty-victim merge into L2, and the
+     * L2 access on an L1 miss.  Touches only this core's caches.
+     */
+    PrivateAccessResult
+    accessPrivate(unsigned core, BlockNum blk, bool is_write)
+    {
+        PrivateAccessResult out;
+
+        auto r1 = l1_[core].access(blk, is_write);
+        if (r1.hit) {
+            out.l1Hit = true;
+            return out;
+        }
+        // A dirty L1 victim merges into L2 if resident there,
+        // otherwise (non-inclusive hierarchy) it heads for L3 or
+        // memory -- shared state, deferred to accessShared().
+        if (r1.writebackTag) {
+            if (!l2_[core].markDirtyIfPresent(*r1.writebackTag))
+                out.spills[out.numSpills++] = *r1.writebackTag;
+        }
+
+        // Lower levels fill *clean*: the dirty bit lives in L1 and
+        // travels down on eviction, so each store produces exactly
+        // one eventual memory writeback.
+        auto r2 = l2_[core].access(blk, false);
+        if (r2.hit)
+            return out;
+        if (r2.writebackTag)
+            out.spills[out.numSpills++] = *r2.writebackTag;
+        out.l2Miss = true;
+        return out;
+    }
+
+    /**
+     * Shared half: L3 probes for spilled victims and the L3 access
+     * for an L2 miss.  Must run in global reference order; fills
+     * res.memWritebacks / res.llcMiss exactly as access() does.
+     */
+    void
+    accessShared(unsigned core, BlockNum blk,
+                 const PrivateAccessResult &priv, HierarchyResult &res)
+    {
+        SetAssocCache &l3 = l3SliceFor(core);
+        for (unsigned s = 0; s < priv.numSpills; ++s) {
+            if (!l3.markDirtyIfPresent(priv.spills[s]))
+                res.memWritebacks.push_back(priv.spills[s]);
+        }
+        if (!priv.l2Miss)
+            return;
+        auto r3 = l3.access(blk, false);
+        if (r3.hit)
+            return;
+        res.llcMiss = true;
+        if (r3.writebackTag)
+            res.memWritebacks.push_back(*r3.writebackTag);
+    }
 
     std::uint64_t llcHits() const;
     std::uint64_t llcMisses() const;
@@ -78,6 +194,8 @@ class CacheHierarchy
     std::vector<SetAssocCache> l1_;
     std::vector<SetAssocCache> l2_;
     std::vector<SetAssocCache> l3_;
+    /** Per-core slice index: avoids a runtime division per lookup. */
+    std::vector<unsigned> l3SliceOf_;
 
     SetAssocCache &l3SliceFor(unsigned core);
     const SetAssocCache &l3SliceFor(unsigned core) const;

@@ -1,24 +1,13 @@
 #include "cache/set_assoc.hh"
 
+#include <algorithm>
+
 namespace toleo {
 
-namespace {
-
-/** Mix the key so low-entropy keys still spread across sets. */
-std::uint64_t
-mix(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    return x;
-}
-
-} // namespace
-
 SetAssocCache::SetAssocCache(std::uint64_t num_sets, unsigned assoc)
-    : numSets_(num_sets), assoc_(assoc),
-      lines_(num_sets * assoc)
+    : numSets_(num_sets), assoc_(assoc), stride_(2 * assoc),
+      setMask_((num_sets & (num_sets - 1)) == 0 ? num_sets - 1 : 0),
+      slab_(num_sets * 2 * assoc, 0)
 {
     if (num_sets == 0 || assoc == 0)
         panic("SetAssocCache: zero sets or ways");
@@ -34,118 +23,114 @@ SetAssocCache::fromCapacity(std::uint64_t bytes, std::uint64_t line_size,
     return SetAssocCache(bytes / (line_size * assoc), assoc);
 }
 
-std::uint64_t
-SetAssocCache::setIndex(std::uint64_t key) const
-{
-    if (numSets_ == 1)
-        return 0;
-    return mix(key) % numSets_;
-}
-
-SetAssocCache::Line *
-SetAssocCache::findLine(std::uint64_t key)
-{
-    const std::uint64_t base = setIndex(key) * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.key == key)
-            return &line;
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Line *
-SetAssocCache::findLine(std::uint64_t key) const
-{
-    const std::uint64_t base = setIndex(key) * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.key == key)
-            return &line;
-    }
-    return nullptr;
-}
-
 CacheAccessResult
-SetAssocCache::access(std::uint64_t key, bool is_write)
+SetAssocCache::accessFull(std::uint64_t key, bool is_write)
 {
-    CacheAccessResult res;
     ++useClock_;
+    const std::size_t base = setBase(key);
 
-    if (Line *line = findLine(key)) {
+    const unsigned w = findInSet(base, key);
+    if (w != wayNone) {
         ++hits_;
+        std::uint64_t &meta = slab_[base + assoc_ + w];
+        meta = (useClock_ << 2) | (meta & kDirty) |
+               (is_write ? kDirty : 0) | kValid;
+        moveToFront(base, w);
+        mruKey_ = key;
+        mruBase_ = base;
+        mruValid_ = true;
+        CacheAccessResult res;
         res.hit = true;
-        line->lastUse = useClock_;
-        line->dirty = line->dirty || is_write;
         return res;
     }
-
-    ++misses_;
-    const std::uint64_t base = setIndex(key) * assoc_;
-    Line *victim = &lines_[base];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Line &line = lines_[base + w];
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-        if (line.lastUse < victim->lastUse)
-            victim = &line;
-    }
-
-    if (victim->valid) {
-        if (victim->dirty) {
-            ++writebacks_;
-            res.writebackTag = victim->key;
-        } else {
-            res.evictedTag = victim->key;
-        }
-    }
-
-    victim->valid = true;
-    victim->key = key;
-    victim->lastUse = useClock_;
-    victim->dirty = is_write;
-    return res;
+    return accessMiss(base, key, is_write);
 }
 
 bool
-SetAssocCache::contains(std::uint64_t key) const
-{
-    return findLine(key) != nullptr;
-}
-
-bool
-SetAssocCache::touch(std::uint64_t key, bool mark_dirty)
+SetAssocCache::touchFull(std::uint64_t key, bool mark_dirty)
 {
     ++useClock_;
-    if (Line *line = findLine(key)) {
+    const std::size_t base = setBase(key);
+    const unsigned w = findInSet(base, key);
+    if (w != wayNone) {
         ++hits_;
-        line->lastUse = useClock_;
-        line->dirty = line->dirty || mark_dirty;
+        std::uint64_t &meta = slab_[base + assoc_ + w];
+        meta = (useClock_ << 2) | (meta & kDirty) |
+               (mark_dirty ? kDirty : 0) | kValid;
+        moveToFront(base, w);
+        mruKey_ = key;
+        mruBase_ = base;
+        mruValid_ = true;
         return true;
     }
     ++misses_;
     return false;
 }
 
+CacheAccessResult
+SetAssocCache::accessMiss(std::size_t base, std::uint64_t key,
+                          bool is_write)
+{
+    CacheAccessResult res;
+    ++misses_;
+
+    // LRU victim = argmin over the metadata words.  An invalid
+    // line's word is 0, below every valid word, so this picks the
+    // first invalid way if any exists (matching the historical
+    // first-free scan) and the unique least-recently-used way
+    // otherwise (timestamps are unique by construction).
+    unsigned victim = 0;
+    std::uint64_t best = slab_[base + assoc_];
+    for (unsigned w = 1; w < assoc_; ++w) {
+        const std::uint64_t m = slab_[base + assoc_ + w];
+        if (m < best) {
+            best = m;
+            victim = w;
+        }
+    }
+
+    if (best & kValid) {
+        if (best & kDirty) {
+            ++writebacks_;
+            res.writebackTag = slab_[base + victim];
+        } else {
+            res.evictedTag = slab_[base + victim];
+        }
+    }
+
+    slab_[base + victim] = key;
+    slab_[base + assoc_ + victim] =
+        (useClock_ << 2) | (is_write ? kDirty : 0) | kValid;
+    moveToFront(base, victim);
+    mruKey_ = key;
+    mruBase_ = base;
+    mruValid_ = true;
+    return res;
+}
+
 bool
 SetAssocCache::invalidate(std::uint64_t key)
 {
-    if (Line *line = findLine(key)) {
-        const bool was_dirty = line->dirty;
-        line->valid = false;
-        line->dirty = false;
-        return was_dirty;
-    }
-    return false;
+    const std::size_t base = setBase(key);
+    const unsigned w = findInSet(base, key);
+    if (w == wayNone)
+        return false;
+    std::uint64_t &meta = slab_[base + assoc_ + w];
+    const bool was_dirty = (meta & kDirty) != 0;
+    meta = 0;
+    if (mruValid_ && key == mruKey_)
+        mruValid_ = false;
+    return was_dirty;
 }
 
 void
-SetAssocCache::markDirty(std::uint64_t key)
+SetAssocCache::invalidateAll()
 {
-    if (Line *line = findLine(key))
-        line->dirty = true;
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        const std::size_t meta = s * stride_ + assoc_;
+        std::fill_n(slab_.begin() + meta, assoc_, std::uint64_t{0});
+    }
+    mruValid_ = false;
 }
 
 double

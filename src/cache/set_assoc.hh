@@ -8,13 +8,25 @@
  * hit/miss/writeback statistics -- no data payloads, which is all the
  * timing simulation needs.  Functional payloads live in the
  * protection-engine models that need them.
+ *
+ * The simulator spends about half its time probing these caches, so
+ * the storage is one slab of 64-bit words, blocked per set: a set's
+ * `assoc` keys followed by its `assoc` metadata words, where a
+ * metadata word packs (lastUse << 2) | dirty | valid.  A whole
+ * 16-way set then spans three host cache lines instead of five, the
+ * LRU victim is a plain argmin over the metadata words (an invalid
+ * line's word is 0, which any valid word exceeds), and the MRU line
+ * is kept in way 0 so the common repeated-key probe needs neither
+ * hash nor scan.
  */
 
 #ifndef TOLEO_CACHE_SET_ASSOC_HH
 #define TOLEO_CACHE_SET_ASSOC_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -52,13 +64,35 @@ class SetAssocCache
 
     /**
      * Access a key; allocates on miss (evicting LRU), promotes on hit.
+     * The inline part is the MRU shortcut: after any access or fill,
+     * the touched key sits in way 0 of its set (see moveToFront), so
+     * a repeated key -- the dominant pattern when a core walks a
+     * block in sub-block strides -- needs no hash and no tag scan.
      * @param key Lookup key (block number, page number, ...).
      * @param is_write Marks the line dirty on hit or fill.
      */
-    CacheAccessResult access(std::uint64_t key, bool is_write);
+    CacheAccessResult
+    access(std::uint64_t key, bool is_write)
+    {
+        if (mruValid_ && key == mruKey_) {
+            ++useClock_;
+            ++hits_;
+            std::uint64_t &meta = slab_[mruBase_ + assoc_];
+            meta = (useClock_ << 2) | (meta & kDirty) |
+                   (is_write ? kDirty : 0) | kValid;
+            CacheAccessResult res;
+            res.hit = true;
+            return res;
+        }
+        return accessFull(key, is_write);
+    }
 
     /** Probe without modifying state. */
-    bool contains(std::uint64_t key) const;
+    bool
+    contains(std::uint64_t key) const
+    {
+        return findInSet(setBase(key), key) != wayNone;
+    }
 
     /**
      * Non-allocating access: on a hit, refresh LRU (and optionally
@@ -66,13 +100,41 @@ class SetAssocCache
      * must not displace the demand working set (e.g. version updates
      * for long-cold pages).
      */
-    bool touch(std::uint64_t key, bool mark_dirty);
+    bool
+    touch(std::uint64_t key, bool mark_dirty)
+    {
+        if (mruValid_ && key == mruKey_) {
+            ++useClock_;
+            ++hits_;
+            std::uint64_t &meta = slab_[mruBase_ + assoc_];
+            meta = (useClock_ << 2) | (meta & kDirty) |
+                   (mark_dirty ? kDirty : 0) | kValid;
+            return true;
+        }
+        return touchFull(key, mark_dirty);
+    }
 
     /** Invalidate a key if present; returns true if it was dirty. */
     bool invalidate(std::uint64_t key);
 
-    /** Mark a resident key dirty (no-op if absent). */
-    void markDirty(std::uint64_t key);
+    /** Invalidate every line; statistics are left untouched. */
+    void invalidateAll();
+
+    /**
+     * Mark a resident key dirty; returns whether it was resident.
+     * One set scan where contains() + markDirty() would take two.
+     * Like contains(), does not touch LRU state or statistics.
+     */
+    bool
+    markDirtyIfPresent(std::uint64_t key)
+    {
+        const std::size_t base = setBase(key);
+        const unsigned w = findInSet(base, key);
+        if (w == wayNone)
+            return false;
+        slab_[base + assoc_ + w] |= kDirty;
+        return true;
+    }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -85,26 +147,98 @@ class SetAssocCache
     void resetStats();
 
   private:
-    struct Line
-    {
-        std::uint64_t key = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    static constexpr unsigned wayNone = ~0u;
+    /** Metadata word: (lastUse << 2) | kDirty | kValid. */
+    static constexpr std::uint64_t kValid = 1;
+    static constexpr std::uint64_t kDirty = 2;
 
     std::uint64_t numSets_;
     unsigned assoc_;
-    std::vector<Line> lines_;
+    /** Words per set block: assoc keys then assoc metadata words. */
+    unsigned stride_;
+    /** numSets - 1 when numSets is a power of two, else 0. */
+    std::uint64_t setMask_;
+
+    /** Per-set blocks of [keys | metadata], see the file comment. */
+    std::vector<std::uint64_t> slab_;
+
     std::uint64_t useClock_ = 0;
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;
 
-    std::uint64_t setIndex(std::uint64_t key) const;
-    Line *findLine(std::uint64_t key);
-    const Line *findLine(std::uint64_t key) const;
+    /**
+     * MRU shortcut state: mruKey_ is the key most recently accessed
+     * or filled, which moveToFront keeps in way 0 of the set whose
+     * slab block starts at mruBase_.  Invalidation clears it.
+     */
+    std::uint64_t mruKey_ = 0;
+    std::size_t mruBase_ = 0;
+    bool mruValid_ = false;
+
+    /** access() past the MRU shortcut: hash, scan, hit or fill. */
+    CacheAccessResult accessFull(std::uint64_t key, bool is_write);
+
+    /** touch() past the MRU shortcut. */
+    bool touchFull(std::uint64_t key, bool mark_dirty);
+
+    /** Fill path: victim selection, eviction, and allocation. */
+    CacheAccessResult accessMiss(std::size_t base, std::uint64_t key,
+                                 bool is_write);
+
+    /** Mix the key so low-entropy keys still spread across sets. */
+    static std::uint64_t
+    mixKey(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return x;
+    }
+
+    /** Slab offset of the set block holding @p key. */
+    std::size_t
+    setBase(std::uint64_t key) const
+    {
+        if (numSets_ == 1)
+            return 0;
+        // Every real configuration has a power-of-two set count, for
+        // which masking equals the modulo the model always used.
+        const std::uint64_t set = setMask_
+                                      ? (mixKey(key) & setMask_)
+                                      : (mixKey(key) % numSets_);
+        return set * stride_;
+    }
+
+    /** Scan one set for a valid line holding @p key; way or wayNone. */
+    unsigned
+    findInSet(std::size_t base, std::uint64_t key) const
+    {
+        for (unsigned w = 0; w < assoc_; ++w) {
+            // Keys of invalid lines are stale, so the (rare) tag
+            // match still has to check the valid bit.
+            if (slab_[base + w] == key &&
+                (slab_[base + assoc_ + w] & kValid))
+                return w;
+        }
+        return wayNone;
+    }
+
+    /**
+     * Keep the MRU line in way 0 so the usual hit terminates the tag
+     * scan immediately.  Physical way order is unobservable: lookups
+     * match the unique valid key wherever it sits, and the LRU victim
+     * is picked by the (unique) lastUse timestamps, not by position.
+     */
+    void
+    moveToFront(std::size_t base, unsigned w)
+    {
+        if (w == 0)
+            return;
+        std::swap(slab_[base], slab_[base + w]);
+        std::swap(slab_[base + assoc_], slab_[base + assoc_ + w]);
+    }
 };
 
 } // namespace toleo

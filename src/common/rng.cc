@@ -18,12 +18,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -33,65 +27,47 @@ Rng::Rng(std::uint64_t seed)
         s = splitmix64(sm);
 }
 
-std::uint64_t
-Rng::next()
+void
+Rng::boundPanic()
 {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
+    panic("Rng::nextBounded called with bound 0");
 }
 
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
+void
+Rng::setupBoundMemo(std::uint64_t bound)
 {
-    if (bound == 0)
-        panic("Rng::nextBounded called with bound 0");
-    // Lemire-style rejection to remove modulo bias.
-    std::uint64_t threshold = -bound % bound;
-    while (true) {
-        std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
+    // Granlund & Montgomery round-up reciprocal, as implemented by
+    // libdivide's u64 path: floor(r / bound) for every 64-bit r is
+    // mulhi(magic, r) (>> shift), with an add-fixup when the magic
+    // would need 65 bits.  bound is non-zero and not a power of two
+    // here (those take the mask path in nextBounded).
+    memoBound_ = bound;
+    memoThreshold_ = -bound % bound;
+
+    const unsigned fl =
+        63 - static_cast<unsigned>(__builtin_clzll(bound));
+    const unsigned __int128 num = static_cast<unsigned __int128>(1)
+                                  << (64 + fl);
+    std::uint64_t proposed_m = static_cast<std::uint64_t>(num / bound);
+    const std::uint64_t rem = static_cast<std::uint64_t>(num % bound);
+    const std::uint64_t e = bound - rem;
+    if (e < (std::uint64_t{1} << fl)) {
+        memoAdd_ = false;
+    } else {
+        proposed_m += proposed_m;
+        const std::uint64_t twice_rem = rem + rem;
+        if (twice_rem >= bound || twice_rem < rem)
+            ++proposed_m;
+        memoAdd_ = true;
     }
+    memoMagic_ = proposed_m + 1;
+    memoShift_ = fl;
 }
 
-std::uint64_t
-Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+void
+Rng::rangePanic()
 {
-    if (hi < lo)
-        panic("Rng::nextRange: hi < lo");
-    return lo + nextBounded(hi - lo + 1);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
-}
-
-bool
-Rng::nextPow2Draw(unsigned bits)
-{
-    if (bits == 0)
-        return true;
-    if (bits >= 64)
-        return false;
-    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
-    return (next() & mask) == 0;
+    panic("Rng::nextRange: hi < lo");
 }
 
 double
@@ -147,6 +123,7 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed)
     const double zeta2 = zeta(2, theta);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
            (1.0 - zeta2 / zetan_);
+    powHalfTheta_ = std::pow(0.5, theta_);
 }
 
 std::uint64_t
@@ -156,7 +133,7 @@ ZipfSampler::next()
     const double uz = u * zetan_;
     if (uz < 1.0)
         return 0;
-    if (uz < 1.0 + std::pow(0.5, theta_))
+    if (uz < 1.0 + powHalfTheta_)
         return 1;
     const double frac =
         std::pow(eta_ * u - eta_ + 1.0, alpha_);

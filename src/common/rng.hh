@@ -19,6 +19,10 @@ namespace toleo {
 /**
  * xoshiro256** generator (Blackman & Vigna).  Small, fast, and good
  * enough statistically for simulation purposes.
+ *
+ * The integer/uniform draws are defined inline: the workload
+ * generators draw several per simulated reference, so the call
+ * overhead of out-of-line definitions is measurable.
  */
 class Rng
 {
@@ -27,26 +31,86 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). bound must be non-zero. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        if (bound == 0)
+            boundPanic();
+        // Power-of-two bound: the rejection threshold (-bound % bound)
+        // is zero and the modulo reduces to a mask, so the two 64-bit
+        // divisions vanish while every draw stays identical.
+        if ((bound & (bound - 1)) == 0)
+            return next() & (bound - 1);
+        // Rejection to remove modulo bias.  Call sites draw the same
+        // bound over and over (region sizes, instruction gaps), so a
+        // one-entry memo caches the rejection threshold and a
+        // Granlund-Montgomery reciprocal that turns the per-draw
+        // 64-bit modulo into a multiply (exactly r % bound, without
+        // the hardware divide).
+        if (bound != memoBound_)
+            setupBoundMemo(bound);
+        while (true) {
+            const std::uint64_t r = next();
+            if (r >= memoThreshold_)
+                return r - memoQuotient(r) * bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (hi < lo)
+            rangePanic();
+        return lo + nextBounded(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability p. */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
 
     /**
      * Bernoulli draw with probability 2^-bits, computed without
      * floating point (matches hardware reset-draw semantics:
      * Section 4.2 uses p = 2^-20).
      */
-    bool nextPow2Draw(unsigned bits);
+    bool
+    nextPow2Draw(unsigned bits)
+    {
+        if (bits == 0)
+            return true;
+        if (bits >= 64)
+            return false;
+        const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+        return (next() & mask) == 0;
+    }
 
     /** Standard normal (Box-Muller). */
     double nextGaussian();
@@ -58,6 +122,42 @@ class Rng
     std::uint64_t s_[4];
     bool haveSpare_ = false;
     double spare_ = 0.0;
+    /**
+     * One-entry memo for nextBounded: rejection threshold plus a
+     * Granlund-Montgomery magic reciprocal (libdivide's u64 scheme)
+     * giving exact floor(r / bound) by multiplication.
+     */
+    std::uint64_t memoBound_ = 0;
+    std::uint64_t memoThreshold_ = 0;
+    std::uint64_t memoMagic_ = 0;
+    unsigned memoShift_ = 0;
+    bool memoAdd_ = false;
+
+    /** Fill the bound memo (cold path; one 128/64 division). */
+    void setupBoundMemo(std::uint64_t bound);
+
+    /** Exact floor(r / memoBound_) via the memoized reciprocal. */
+    std::uint64_t
+    memoQuotient(std::uint64_t r) const
+    {
+        std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(memoMagic_) * r) >> 64);
+        if (memoAdd_) {
+            const std::uint64_t t = ((r - q) >> 1) + q;
+            return t >> memoShift_;
+        }
+        return q >> memoShift_;
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Out-of-line so the inline fast paths stay small. */
+    [[noreturn]] static void boundPanic();
+    [[noreturn]] static void rangePanic();
 };
 
 /**
@@ -80,6 +180,8 @@ class ZipfSampler
     double alpha_;
     double zetan_;
     double eta_;
+    /** pow(0.5, theta), hoisted out of the per-draw path. */
+    double powHalfTheta_;
     Rng rng_;
 
     static double zeta(std::uint64_t n, double theta);

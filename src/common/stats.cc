@@ -7,26 +7,6 @@
 
 namespace toleo {
 
-void
-Accumulator::sample(double v)
-{
-    if (count_ == 0) {
-        min_ = max_ = v;
-    } else {
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
-    ++count_;
-    sum_ += v;
-}
-
-void
-Accumulator::reset()
-{
-    count_ = 0;
-    sum_ = min_ = max_ = 0.0;
-}
-
 Histogram::Histogram(double lo, double hi, unsigned buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / buckets), buckets_(buckets, 0)
 {

@@ -36,13 +36,32 @@ class Counter
 class Accumulator
 {
   public:
-    void sample(double v);
+    /** Inline: sampled on hot per-event paths throughout the model. */
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = min_ < v ? min_ : v;
+            max_ = max_ > v ? max_ : v;
+        }
+        ++count_;
+        sum_ += v;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
-    void reset();
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
 
   private:
     std::uint64_t count_ = 0;

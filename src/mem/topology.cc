@@ -57,13 +57,18 @@ MemTopology::ddrChannelFor(PageNum page) const
                                  ddr_.size());
 }
 
+MemTopology::Route
+MemTopology::routeFor(PageNum page) const
+{
+    if (targetFor(page) == MemTarget::CxlPool)
+        return poolRoute;
+    return ddrChannelFor(page);
+}
+
 void
 MemTopology::addDataTraffic(PageNum page, std::uint64_t bytes)
 {
-    if (targetFor(page) == MemTarget::CxlPool)
-        cxlPool_.addTraffic(bytes);
-    else
-        ddr_[ddrChannelFor(page)].addTraffic(bytes);
+    addTraffic(routeFor(page), bytes);
 }
 
 void
@@ -75,9 +80,7 @@ MemTopology::addToleoTraffic(std::uint64_t bytes)
 double
 MemTopology::dataLatencyNs(PageNum page) const
 {
-    if (targetFor(page) == MemTarget::CxlPool)
-        return cxlPool_.latencyNs();
-    return ddr_[ddrChannelFor(page)].latencyNs();
+    return latencyNs(routeFor(page));
 }
 
 double

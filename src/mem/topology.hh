@@ -55,6 +55,36 @@ class MemTopology
     /** Map a page to local DRAM or the CXL pool (bandwidth-propor.). */
     MemTarget targetFor(PageNum page) const;
 
+    /**
+     * A page's resolved home channel: a DDR channel index, or
+     * poolRoute for the CXL pool.  Resolving the route once and
+     * reusing it saves the page-hash computations that addDataTraffic
+     * and dataLatencyNs would each redo on the miss path.
+     */
+    using Route = std::uint32_t;
+    static constexpr Route poolRoute = ~Route{0};
+
+    Route routeFor(PageNum page) const;
+
+    /** Account a transfer on a resolved route. */
+    void
+    addTraffic(Route route, std::uint64_t bytes)
+    {
+        if (route == poolRoute)
+            cxlPool_.addTraffic(bytes);
+        else
+            ddr_[route].addTraffic(bytes);
+    }
+
+    /** Effective access latency of a resolved route, ns. */
+    double
+    latencyNs(Route route) const
+    {
+        if (route == poolRoute)
+            return cxlPool_.latencyNs();
+        return ddr_[route].latencyNs();
+    }
+
     /** Account a data/metadata transfer to/from a page's home. */
     void addDataTraffic(PageNum page, std::uint64_t bytes);
 

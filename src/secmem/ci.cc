@@ -9,7 +9,11 @@ CiEngine::CiEngine(MemTopology &topo, const CiConfig &cfg,
           topo),
       cfg_(cfg),
       macCache_(SetAssocCache::fromCapacity(cfg.macCacheBytes, blockSize,
-                                            cfg.macCacheAssoc))
+                                            cfg.macCacheAssoc)),
+      readsCtr_(stats_.counter("reads")),
+      writebacksCtr_(stats_.counter("writebacks")),
+      macFetchesCtr_(stats_.counter("mac_fetches")),
+      macWritebacksCtr_(stats_.counter("mac_writebacks"))
 {}
 
 double
@@ -27,9 +31,10 @@ CiEngine::macAccess(BlockNum blk, bool is_write, MetaCost &cost)
         // gates data release, so part of the channel latency lands on
         // the critical path.
         cost.metaBytes += blockSize;
-        topo_.addDataTraffic(page, blockSize);
-        latency += cfg_.macFetchSerialization * topo_.dataLatencyNs(page);
-        ++stats_.counter("mac_fetches");
+        const MemTopology::Route route = topo_.routeFor(page);
+        topo_.addTraffic(route, blockSize);
+        latency += cfg_.macFetchSerialization * topo_.latencyNs(route);
+        ++macFetchesCtr_;
     }
     if (res.writebackTag) {
         // Dirty MAC block evicted: write it back.  Use the victim's
@@ -38,7 +43,7 @@ CiEngine::macAccess(BlockNum blk, bool is_write, MetaCost &cost)
             pageOfBlock(*res.writebackTag * 8);
         cost.metaBytes += blockSize;
         topo_.addDataTraffic(victim_page, blockSize);
-        ++stats_.counter("mac_writebacks");
+        ++macWritebacksCtr_;
     }
     return latency;
 }
@@ -47,7 +52,7 @@ MetaCost
 CiEngine::onRead(BlockNum blk)
 {
     MetaCost cost;
-    ++stats_.counter("reads");
+    ++readsCtr_;
 
     // Decrypt on the way in; the 40-cycle AES engine is pipelined so
     // only its latency (not throughput) shows on the critical path.
@@ -65,7 +70,7 @@ MetaCost
 CiEngine::onWriteback(BlockNum blk)
 {
     MetaCost cost;
-    ++stats_.counter("writebacks");
+    ++writebacksCtr_;
 
     // Encryption of an evicted block is off the read critical path.
     if (cfg_.integrity) {

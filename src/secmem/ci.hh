@@ -60,6 +60,16 @@ class CiEngine : public ProtectionEngine
     /** Keyed by MAC-block number: eight data blocks per MAC block. */
     SetAssocCache macCache_;
 
+    /**
+     * Counters resolved once at construction: a per-event
+     * stats_.counter(name) is a string-keyed map lookup on the
+     * metadata hot path.
+     */
+    Counter &readsCtr_;
+    Counter &writebacksCtr_;
+    Counter &macFetchesCtr_;
+    Counter &macWritebacksCtr_;
+
     /** MAC block holding the MAC of a data block. */
     static std::uint64_t macBlockOf(BlockNum blk) { return blk / 8; }
 

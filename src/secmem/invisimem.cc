@@ -6,14 +6,17 @@ namespace toleo {
 
 InvisiMemEngine::InvisiMemEngine(MemTopology &topo,
                                  const InvisiMemConfig &cfg)
-    : ProtectionEngine("InvisiMem", topo), cfg_(cfg)
+    : ProtectionEngine("InvisiMem", topo), cfg_(cfg),
+      readsCtr_(stats_.counter("reads")),
+      writebacksCtr_(stats_.counter("writebacks")),
+      dummyBytesCtr_(stats_.counter("dummy_bytes"))
 {}
 
 MetaCost
 InvisiMemEngine::onRead(BlockNum blk)
 {
     MetaCost cost;
-    ++stats_.counter("reads");
+    ++readsCtr_;
     const PageNum page = pageOfBlock(blk);
 
     // Request packet padded to write size + double encryption of the
@@ -34,7 +37,7 @@ MetaCost
 InvisiMemEngine::onWriteback(BlockNum blk)
 {
     MetaCost cost;
-    ++stats_.counter("writebacks");
+    ++writebacksCtr_;
     const PageNum page = pageOfBlock(blk);
 
     // Write acknowledgement padded to read-response size.
@@ -68,7 +71,7 @@ InvisiMemEngine::padEpoch(double epoch_ns)
             topo_.addDataTraffic(static_cast<PageNum>(i) * 977 + 13,
                                  chunk);
         dummyBytes_ += pad;
-        stats_.counter("dummy_bytes") += pad;
+        dummyBytesCtr_ += pad;
     }
     return pad;
 }

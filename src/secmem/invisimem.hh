@@ -59,6 +59,11 @@ class InvisiMemEngine : public ProtectionEngine
     /** Real bytes this epoch (tracked for constant-rate padding). */
     std::uint64_t epochRealBytes_ = 0;
     std::uint64_t dummyBytes_ = 0;
+
+    /** Counters resolved once; per-event map lookups are hot. */
+    Counter &readsCtr_;
+    Counter &writebacksCtr_;
+    Counter &dummyBytesCtr_;
 };
 
 } // namespace toleo

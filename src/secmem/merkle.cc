@@ -6,7 +6,12 @@ MerkleTreeEngine::MerkleTreeEngine(MemTopology &topo,
                                    const MerkleConfig &cfg)
     : ProtectionEngine("Merkle", topo), cfg_(cfg),
       cache_(SetAssocCache::fromCapacity(cfg.versionCacheBytes, blockSize,
-                                         cfg.versionCacheAssoc))
+                                         cfg.versionCacheAssoc)),
+      readsCtr_(stats_.counter("reads")),
+      writebacksCtr_(stats_.counter("writebacks")),
+      nodeFetchesCtr_(stats_.counter("node_fetches")),
+      nodeWritebacksCtr_(stats_.counter("node_writebacks")),
+      levelsWalkedCtr_(stats_.counter("levels_walked"))
 {
     std::uint64_t nodes = cfg.protectedBytes / blockSize /
                           cfg.blocksPerLeaf;
@@ -35,7 +40,7 @@ MerkleTreeEngine::walk(BlockNum blk, bool is_write)
         if (res.writebackTag) {
             cost.metaBytes += blockSize;
             topo_.addDataTraffic(page, blockSize);
-            ++stats_.counter("node_writebacks");
+            ++nodeWritebacksCtr_;
         }
         if (res.hit) {
             // Everything above this node is already verified.
@@ -46,8 +51,8 @@ MerkleTreeEngine::walk(BlockNum blk, bool is_write)
         topo_.addDataTraffic(page, blockSize);
         cost.latencyNs +=
             cfg_.levelSerialization * topo_.dataLatencyNs(page);
-        ++stats_.counter("node_fetches");
-        stats_.counter("levels_walked") += 1;
+        ++nodeFetchesCtr_;
+        levelsWalkedCtr_ += 1;
         index /= cfg_.arity;
     }
     return cost;
@@ -56,7 +61,7 @@ MerkleTreeEngine::walk(BlockNum blk, bool is_write)
 MetaCost
 MerkleTreeEngine::onRead(BlockNum blk)
 {
-    ++stats_.counter("reads");
+    ++readsCtr_;
     MetaCost cost = walk(blk, false);
     // Decrypt + leaf MAC verify.
     cost.latencyNs += cyclesToNs(cfg_.crypto.aesLatency) +
@@ -67,7 +72,7 @@ MerkleTreeEngine::onRead(BlockNum blk)
 MetaCost
 MerkleTreeEngine::onWriteback(BlockNum blk)
 {
-    ++stats_.counter("writebacks");
+    ++writebacksCtr_;
     // A write increments the leaf counter and dirties every ancestor
     // (they will be written back on cache eviction).
     return walk(blk, true);

@@ -71,6 +71,13 @@ class MerkleTreeEngine : public ProtectionEngine
     SetAssocCache cache_;
     unsigned numLevels_;
 
+    /** Counters resolved once; the walk touches several per miss. */
+    Counter &readsCtr_;
+    Counter &writebacksCtr_;
+    Counter &nodeFetchesCtr_;
+    Counter &nodeWritebacksCtr_;
+    Counter &levelsWalkedCtr_;
+
     /** Walk leaf->root until a cached level; returns cost. */
     MetaCost walk(BlockNum blk, bool is_write);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -33,9 +35,12 @@ makeSweepGrid(const std::vector<std::string> &workloads,
 
 std::vector<SimStats>
 runSweep(const std::vector<SweepCell> &cells,
-         const SweepOptions &opts, const SweepProgressFn &progress)
+         const SweepOptions &opts, const SweepProgressFn &progress,
+         std::vector<double> *cellSeconds, const SweepCellFn &cellFn)
 {
     std::vector<SimStats> results(cells.size());
+    if (cellSeconds)
+        cellSeconds->assign(cells.size(), 0.0);
     if (cells.empty())
         return results;
 
@@ -44,14 +49,38 @@ runSweep(const std::vector<SweepCell> &cells,
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
     std::mutex progressMutex;
+    std::exception_ptr firstError;
 
+    // An exception anywhere inside a cell must not escape a worker
+    // thread (that would std::terminate the whole sweep with no
+    // diagnostics).  Capture the first one, stop handing out new
+    // cells, and rethrow once every worker has joined.
     auto worker = [&] {
         for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
             const std::size_t i = next.fetch_add(1);
             if (i >= cells.size())
                 return;
-            results[i] = runSweepCell(cells[i], opts);
+            try {
+                const auto t0 = std::chrono::steady_clock::now();
+                results[i] = cellFn ? cellFn(cells[i], opts)
+                                    : runSweepCell(cells[i], opts);
+                if (cellSeconds) {
+                    (*cellSeconds)[i] =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
             const std::size_t d = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progressMutex);
@@ -62,15 +91,17 @@ runSweep(const std::vector<SweepCell> &cells,
 
     if (jobs == 1) {
         worker();
-        return results;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned j = 0; j < jobs; ++j)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
     return results;
 }
 

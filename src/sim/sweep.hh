@@ -50,6 +50,10 @@ SimStats runSweepCell(const SweepCell &cell, const SweepOptions &opts);
 using SweepProgressFn = std::function<void(
     const SimStats &stats, std::size_t done, std::size_t total)>;
 
+/** Replacement cell runner (tests, instrumentation). */
+using SweepCellFn =
+    std::function<SimStats(const SweepCell &, const SweepOptions &)>;
+
 /** Cross product in row-major order: workload-major, engine-minor. */
 std::vector<SweepCell> makeSweepGrid(
     const std::vector<std::string> &workloads,
@@ -57,11 +61,22 @@ std::vector<SweepCell> makeSweepGrid(
 
 /**
  * Run every cell, using opts.jobs worker threads.
+ *
+ * A cell that throws does not tear down the process: the first
+ * exception is captured, the remaining queued cells are abandoned,
+ * in-flight cells finish, and the exception is rethrown on the
+ * calling thread after the pool joins.
+ *
+ * @param cellSeconds If non-null, resized to cells.size() and filled
+ *        with each cell's wall-clock seconds (perf tracking).
+ * @param cellFn Cell runner override; defaults to runSweepCell.
  * @return One SimStats per cell, in the order of @p cells.
  */
 std::vector<SimStats> runSweep(const std::vector<SweepCell> &cells,
                                const SweepOptions &opts,
-                               const SweepProgressFn &progress = {});
+                               const SweepProgressFn &progress = {},
+                               std::vector<double> *cellSeconds = nullptr,
+                               const SweepCellFn &cellFn = {});
 
 /**
  * Parse an engine name as printed by engineKindName().

@@ -70,6 +70,11 @@ System::System(const SystemConfig &cfg)
 
     coreInsts_.assign(cfg.numCores, 0);
     coreStallNs_.assign(cfg.numCores, 0.0);
+    refBuf_.resize(static_cast<std::size_t>(cfg.numCores) *
+                   batchRounds);
+    evBuf_.resize(refBuf_.size());
+    evCount_.assign(cfg.numCores, 0);
+    evPos_.assign(cfg.numCores, 0);
 }
 
 System::~System() = default;
@@ -92,14 +97,11 @@ System::maxCoreTimeNs() const
 }
 
 void
-System::step(unsigned core, std::uint64_t &global_refs)
+System::stepShared(unsigned core, const MemRef &ref,
+                   const PrivateAccessResult &priv)
 {
-    const MemRef ref = gens_[core]->next();
-    coreInsts_[core] += ref.instGap + 1;
-    ++global_refs;
-    footprint_.insert(pageOf(ref.addr));
-
-    auto res = hierarchy_.access(core, blockOf(ref.addr), ref.isWrite);
+    HierarchyResult res;
+    hierarchy_.accessShared(core, blockOf(ref.addr), priv, res);
 
     // Dirty victims leaving the chip: off the read critical path but
     // they generate data + metadata traffic and version updates.
@@ -116,18 +118,80 @@ System::step(unsigned core, std::uint64_t &global_refs)
 
     const PageNum page = pageOf(ref.addr);
 
-    // Data fill.
-    topo_.addDataTraffic(page, blockSize);
+    // Data fill.  Resolve the page's home channel once for both the
+    // traffic accounting and the latency lookup.
+    const MemTopology::Route route = topo_.routeFor(page);
+    topo_.addTraffic(route, blockSize);
     MetaCost mc = engine_->onRead(blockOf(ref.addr));
     metaBytes_ += mc.metaBytes;
-    const double dram_ns = topo_.dataLatencyNs(page);
+    const double dram_ns = topo_.latencyNs(route);
     const double total_ns = dram_ns + mc.latencyNs;
 
-    readLat_.sample(total_ns);
-    dramLat_.sample(dram_ns);
-    metaLat_.sample(mc.latencyNs);
+    readLat_.sample(total_ns, dram_ns, mc.latencyNs);
 
     coreStallNs_[core] += total_ns / winfo_.mlp;
+}
+
+void
+System::stepRounds(std::uint64_t rounds)
+{
+    const unsigned cores = cfg_.numCores;
+    while (rounds > 0) {
+        const std::uint64_t n = std::min(rounds, batchRounds);
+
+        // Private phase, one core at a time: generator draws and the
+        // core's own L1/L2.  Per-generator draw order and per-cache
+        // operation sequences are exactly those of the old
+        // one-reference-at-a-time loop; batching only improves
+        // locality, since no other core touches these structures.
+        for (unsigned c = 0; c < cores; ++c) {
+            MemRef *refs = &refBuf_[c * batchRounds];
+            SharedEvent *evs = &evBuf_[c * batchRounds];
+            gens_[c]->nextBatch(refs, n);
+            std::uint32_t nev = 0;
+            std::uint64_t insts = 0;
+            for (std::uint64_t k = 0; k < n; ++k) {
+                const MemRef &ref = refs[k];
+                insts += ref.instGap + 1;
+                const PrivateAccessResult priv =
+                    hierarchy_.accessPrivate(c, blockOf(ref.addr),
+                                             ref.isWrite);
+                // RSS tracking off the L1-hit path: a page's very
+                // first reference always misses L1 (an untouched
+                // block cannot be resident), so recording pages on
+                // L1 misses only yields the same footprint set.
+                if (!priv.l1Hit)
+                    footprint_.insert(pageOf(ref.addr));
+                if (priv.needsShared()) {
+                    evs[nev].round = static_cast<std::uint32_t>(k);
+                    evs[nev].priv = priv;
+                    ++nev;
+                }
+            }
+            evCount_[c] = nev;
+            evPos_[c] = 0;
+            coreInsts_[c] += insts;
+        }
+
+        // Shared phase, in round-robin global order: L3 slices, the
+        // memory topology, and the protection engine observe the
+        // exact operation sequence of the original loop.  Each
+        // core's queue is already round-ordered, so this is an
+        // n-way merge on the round index.
+        for (std::uint64_t k = 0; k < n; ++k) {
+            for (unsigned c = 0; c < cores; ++c) {
+                const std::uint32_t pos = evPos_[c];
+                if (pos >= evCount_[c])
+                    continue;
+                const SharedEvent &ev = evBuf_[c * batchRounds + pos];
+                if (ev.round != k)
+                    continue;
+                stepShared(c, refBuf_[c * batchRounds + k], ev.priv);
+                evPos_[c] = pos + 1;
+            }
+        }
+        rounds -= n;
+    }
 }
 
 void
@@ -139,8 +203,6 @@ System::resetMeasurement()
     if (toleoEngine_)
         toleoEngine_->stealthCache().resetStats();
     readLat_.reset();
-    dramLat_.reset();
-    metaLat_.reset();
     writebacks_ = 0;
     metaBytes_ = 0;
     // The footprint is intentionally *not* reset: it models the RSS,
@@ -176,10 +238,27 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
         last_epoch_ns = maxCoreTimeNs();
     };
 
+    // Rounds (one reference per core) until the next epoch boundary
+    // fires.  Every round adds numCores references, so the per-round
+    // epoch re-check of the old loop reduces to a ceiling division,
+    // letting stepRounds() run a check-free inner loop.
+    auto rounds_to_epoch = [&]() -> std::uint64_t {
+        const std::uint64_t since = global_refs - epoch_mark;
+        const std::uint64_t remaining =
+            cfg_.epochRefs > since ? cfg_.epochRefs - since : 0;
+        return remaining == 0
+                   ? 1
+                   : (remaining + cfg_.numCores - 1) / cfg_.numCores;
+    };
+
     // Warmup: fill caches and version state, then reset stats.
-    for (std::uint64_t r = 0; r < warmup_refs; ++r) {
-        for (unsigned c = 0; c < cfg_.numCores; ++c)
-            step(c, global_refs);
+    std::uint64_t r = 0;
+    while (r < warmup_refs) {
+        const std::uint64_t chunk =
+            std::min(warmup_refs - r, rounds_to_epoch());
+        stepRounds(chunk);
+        global_refs += chunk * cfg_.numCores;
+        r += chunk;
         if (global_refs - epoch_mark >= cfg_.epochRefs) {
             epoch_boundary();
             epoch_mark = global_refs;
@@ -188,18 +267,35 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
     resetMeasurement();
     last_epoch_ns = 0.0;
 
-    // Measurement phase.
+    // Measurement phase: batches run until the earlier of the next
+    // epoch boundary and the next timeline-sample round, so neither
+    // condition is tested inside the per-reference loop.
     SimStats out;
     const std::uint64_t sample_every =
         std::max<std::uint64_t>(1, measure_refs / cfg_.timelinePoints);
-    for (std::uint64_t r = 0; r < measure_refs; ++r) {
-        for (unsigned c = 0; c < cfg_.numCores; ++c)
-            step(c, global_refs);
+    r = 0;
+    while (r < measure_refs) {
+        std::uint64_t chunk =
+            std::min(measure_refs - r, rounds_to_epoch());
+        bool sample_due = false;
+        if (device_) {
+            // Next round index ending in a timeline sample.
+            const std::uint64_t next_sample =
+                (r + sample_every - 1) / sample_every * sample_every;
+            if (next_sample < measure_refs &&
+                next_sample - r + 1 <= chunk) {
+                chunk = next_sample - r + 1;
+                sample_due = true;
+            }
+        }
+        stepRounds(chunk);
+        global_refs += chunk * cfg_.numCores;
+        r += chunk;
         if (global_refs - epoch_mark >= cfg_.epochRefs) {
             epoch_boundary();
             epoch_mark = global_refs;
         }
-        if (device_ && (r % sample_every) == 0) {
+        if (sample_due) {
             std::uint64_t insts = 0;
             for (unsigned c = 0; c < cfg_.numCores; ++c)
                 insts += coreInsts_[c];
@@ -227,9 +323,9 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
     out.llcMpki = 1000.0 * static_cast<double>(out.llcMisses) /
                   static_cast<double>(out.instructions);
 
-    out.avgReadLatencyNs = readLat_.mean();
-    out.avgDramLatencyNs = dramLat_.mean();
-    out.avgMetaLatencyNs = metaLat_.mean();
+    out.avgReadLatencyNs = readLat_.meanTotal();
+    out.avgDramLatencyNs = readLat_.meanDram();
+    out.avgMetaLatencyNs = readLat_.meanMeta();
 
     const double insts = static_cast<double>(out.instructions);
     const std::uint64_t data_bytes =

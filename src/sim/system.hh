@@ -24,7 +24,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -117,6 +116,90 @@ struct SimStats
     std::uint64_t toleoUpgrades = 0;
 };
 
+/**
+ * Dense two-level page bitmap tracking the set of pages ever touched
+ * (the simulated RSS).  Replaces a std::unordered_set<PageNum> on the
+ * per-reference hot path: membership insert is a directory index, a
+ * bit test, and a branch-free count update -- no hashing, no node
+ * allocation.  Leaves cover 32 K pages (128 MiB of address space)
+ * and are allocated once on first touch, so the steady-state insert
+ * is allocation-free.
+ */
+class PageFootprint
+{
+  public:
+    void
+    insert(PageNum page)
+    {
+        const std::uint64_t leaf = page >> leafBits;
+        if (leaf >= dir_.size() || !dir_[leaf])
+            addLeaf(leaf);
+        std::uint64_t &word =
+            dir_[leaf][(page & leafMask) >> wordBits];
+        const std::uint64_t bit =
+            std::uint64_t{1} << (page & (wordSize - 1));
+        count_ += (word & bit) == 0;
+        word |= bit;
+    }
+
+    /** Number of distinct pages inserted, O(1). */
+    std::uint64_t size() const { return count_; }
+
+  private:
+    /** log2(pages per leaf): 32 K pages = 128 MiB of address space. */
+    static constexpr unsigned leafBits = 15;
+    static constexpr std::uint64_t leafMask =
+        (std::uint64_t{1} << leafBits) - 1;
+    static constexpr unsigned wordBits = 6;
+    static constexpr unsigned wordSize = 64;
+    static constexpr std::size_t wordsPerLeaf =
+        (std::size_t{1} << leafBits) / wordSize;
+
+    void
+    addLeaf(std::uint64_t leaf)
+    {
+        if (leaf >= dir_.size())
+            dir_.resize(leaf + 1);
+        if (!dir_[leaf]) {
+            // make_unique value-initializes: the leaf starts all-zero.
+            dir_[leaf] =
+                std::make_unique<std::uint64_t[]>(wordsPerLeaf);
+        }
+    }
+
+    std::vector<std::unique_ptr<std::uint64_t[]>> dir_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Per-reference read-latency bookkeeping, kept as one plain struct
+ * updated inline: the three averages (total / DRAM / metadata) are
+ * always sampled together on an LLC miss, so a single counter and
+ * three running sums replace three Accumulator calls.
+ */
+struct ReadLatencyStats
+{
+    std::uint64_t samples = 0;
+    double totalNs = 0.0;
+    double dramNs = 0.0;
+    double metaNs = 0.0;
+
+    void
+    sample(double total, double dram, double meta)
+    {
+        ++samples;
+        totalNs += total;
+        dramNs += dram;
+        metaNs += meta;
+    }
+
+    double meanTotal() const { return samples ? totalNs / samples : 0.0; }
+    double meanDram() const { return samples ? dramNs / samples : 0.0; }
+    double meanMeta() const { return samples ? metaNs / samples : 0.0; }
+
+    void reset() { *this = ReadLatencyStats{}; }
+};
+
 class System
 {
   public:
@@ -150,15 +233,46 @@ class System
     std::vector<double> coreStallNs_;
 
     /** Pages touched by any reference (the simulated RSS). */
-    std::unordered_set<PageNum> footprint_;
+    PageFootprint footprint_;
     std::uint64_t writebacks_ = 0;
     std::uint64_t metaBytes_ = 0;
 
-    Accumulator readLat_;
-    Accumulator dramLat_;
-    Accumulator metaLat_;
+    ReadLatencyStats readLat_;
 
-    void step(unsigned core, std::uint64_t &global_refs);
+    /** Per-core reference batches for stepRounds (generation phase
+     *  and simulation phase run over this, not through per-ref
+     *  virtual calls). */
+    std::vector<MemRef> refBuf_;
+
+    /** One queued piece of shared work (L3/memory/engine). */
+    struct SharedEvent
+    {
+        std::uint32_t round;
+        PrivateAccessResult priv;
+    };
+    /** Per-core queues of shared events, in increasing round order;
+     *  most references are served privately and queue nothing. */
+    std::vector<SharedEvent> evBuf_;
+    std::vector<std::uint32_t> evCount_;
+    std::vector<std::uint32_t> evPos_;
+
+    /** Rounds of references buffered per core in one sub-batch. */
+    static constexpr std::uint64_t batchRounds = 256;
+
+    /** Shared-state part of one reference: L3, memory, engine. */
+    void stepShared(unsigned core, const MemRef &ref,
+                    const PrivateAccessResult &priv);
+    /**
+     * Run @p rounds rounds of one reference per core.  Each
+     * sub-batch runs the core-private work (generator draws and
+     * L1/L2) per core in a batch, then replays the shared work (L3,
+     * memory system, protection engine) in the round-robin global
+     * order of the original one-reference-at-a-time loop, so every
+     * structure sees the exact operation sequence it always did.
+     * The caller sizes @p rounds so no epoch boundary or timeline
+     * sample falls inside a batch.
+     */
+    void stepRounds(std::uint64_t rounds);
     double coreTimeNs(unsigned core) const;
     double maxCoreTimeNs() const;
     void resetMeasurement();

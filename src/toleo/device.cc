@@ -5,7 +5,13 @@
 namespace toleo {
 
 ToleoDevice::ToleoDevice(const ToleoDeviceConfig &cfg)
-    : cfg_(cfg), store_(cfg.trip), stats_("toleo_device")
+    : cfg_(cfg), store_(cfg.trip), stats_("toleo_device"),
+      readReqsCtr_(stats_.counter("read_reqs")),
+      updateReqsCtr_(stats_.counter("update_reqs")),
+      uvUpdatesCtr_(stats_.counter("uv_updates")),
+      upgradesCtr_(stats_.counter("upgrades")),
+      spaceRejectionsCtr_(stats_.counter("space_rejections")),
+      resetReqsCtr_(stats_.counter("reset_reqs"))
 {
     if (flatArrayBytes() > cfg.capacityBytes)
         fatal("ToleoDevice: %llu B protected memory needs a flat array "
@@ -16,21 +22,21 @@ ToleoDevice::ToleoDevice(const ToleoDeviceConfig &cfg)
 std::uint64_t
 ToleoDevice::read(BlockNum blk)
 {
-    ++stats_.counter("read_reqs");
+    ++readReqsCtr_;
     return store_.stealth(blk);
 }
 
 TripUpdateResult
 ToleoDevice::update(BlockNum blk)
 {
-    ++stats_.counter("update_reqs");
+    ++updateReqsCtr_;
     auto res = store_.update(blk);
     if (res.reset)
-        ++stats_.counter("uv_updates");
+        ++uvUpdatesCtr_;
     if (res.upgraded) {
-        ++stats_.counter("upgrades");
+        ++upgradesCtr_;
         if (spaceExhausted())
-            ++stats_.counter("space_rejections");
+            ++spaceRejectionsCtr_;
     }
     notePeak();
     return res;
@@ -39,7 +45,7 @@ ToleoDevice::update(BlockNum blk)
 void
 ToleoDevice::reset(PageNum page)
 {
-    ++stats_.counter("reset_reqs");
+    ++resetReqsCtr_;
     store_.freePage(page);
 }
 

@@ -104,6 +104,15 @@ class ToleoDevice
     ToleoDeviceConfig cfg_;
     TripStore store_;
     StatGroup stats_;
+
+    /** Counters resolved once; per-request map lookups are hot. */
+    Counter &readReqsCtr_;
+    Counter &updateReqsCtr_;
+    Counter &uvUpdatesCtr_;
+    Counter &upgradesCtr_;
+    Counter &spaceRejectionsCtr_;
+    Counter &resetReqsCtr_;
+
     std::uint64_t peakUsage_ = 0;
 
     void notePeak();

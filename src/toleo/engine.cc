@@ -7,7 +7,11 @@ namespace toleo {
 ToleoEngine::ToleoEngine(MemTopology &topo, ToleoDevice &device,
                          const ToleoEngineConfig &cfg)
     : CiEngine(topo, cfg.ci, "Toleo"), tcfg_(cfg), device_(device),
-      scache_(cfg.stealth)
+      scache_(cfg.stealth),
+      toleoFetchesCtr_(stats_.counter("toleo_fetches")),
+      toleoFetchesReadCtr_(stats_.counter("toleo_fetches_read")),
+      toleoFetchesWbCtr_(stats_.counter("toleo_fetches_wb")),
+      pageReencryptionsCtr_(stats_.counter("page_reencryptions"))
 {}
 
 double
@@ -18,9 +22,8 @@ ToleoEngine::fetchFromToleo(BlockNum blk, MetaCost &cost, bool on_read)
                 : tcfg_.updateRequestBytes + tcfg_.updateResponseBytes;
     cost.toleoBytes += bytes;
     topo_.addToleoTraffic(bytes);
-    ++stats_.counter("toleo_fetches");
-    ++stats_.counter(on_read ? "toleo_fetches_read"
-                             : "toleo_fetches_wb");
+    ++toleoFetchesCtr_;
+    ++(on_read ? toleoFetchesReadCtr_ : toleoFetchesWbCtr_);
     device_.read(blk);
 
     if (!on_read)
@@ -83,7 +86,7 @@ ToleoEngine::onWriteback(BlockNum blk)
         const std::uint64_t bytes = 2ULL * blocksPerPage * blockSize;
         cost.metaBytes += bytes;
         topo_.addDataTraffic(page, bytes);
-        ++stats_.counter("page_reencryptions");
+        ++pageReencryptionsCtr_;
     }
     return cost;
 }

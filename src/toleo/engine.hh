@@ -60,6 +60,12 @@ class ToleoEngine : public CiEngine
     ToleoDevice &device_;
     StealthCache scache_;
 
+    /** Counters resolved once; per-event map lookups are hot. */
+    Counter &toleoFetchesCtr_;
+    Counter &toleoFetchesReadCtr_;
+    Counter &toleoFetchesWbCtr_;
+    Counter &pageReencryptionsCtr_;
+
     /** Charge one miss-path fetch from the Toleo device. */
     double fetchFromToleo(BlockNum blk, MetaCost &cost, bool on_read);
 };

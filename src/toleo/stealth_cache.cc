@@ -88,6 +88,10 @@ StealthCache::invalidatePage(PageNum page)
     tlb_.invalidate(page);
     for (unsigned chunk = 0; chunk < 4; ++chunk)
         overflow_.invalidate(overflowKey(page, chunk));
+    // The write-combining buffer holds per-page coalescing state
+    // too: a stale entry would let updates to a reset/downgraded
+    // page falsely coalesce against the pre-reset entry.
+    combine_.invalidate(page);
 }
 
 double
@@ -111,6 +115,12 @@ StealthCache::resetStats()
     updateHits_ = updateMisses_ = 0;
     tlb_.resetStats();
     overflow_.resetStats();
+    // The combine buffer is transient coalescing state, not a warmed
+    // cache: entries left over from the warmup phase would count as
+    // measured update hits they never earned.  Drop contents and
+    // stats together.
+    combine_.invalidateAll();
+    combine_.resetStats();
 }
 
 } // namespace toleo

@@ -50,6 +50,9 @@ MixWorkload::MixWorkload(WorkloadInfo info, MixSpec spec, unsigned core,
         cum += s.weight;
         cumWeight_.push_back(cum);
     }
+    totalWeight_ = cumWeight_.back();
+    gapLo_ = static_cast<std::uint64_t>(spec_.meanGap * 0.5);
+    gapHi_ = static_cast<std::uint64_t>(spec_.meanGap * 1.5);
 }
 
 Addr
@@ -139,8 +142,7 @@ MemRef
 MixWorkload::next()
 {
     // Weighted random stream selection.
-    const double total = cumWeight_.back();
-    const double draw = rng_.nextDouble() * total;
+    const double draw = rng_.nextDouble() * totalWeight_;
     std::size_t idx = 0;
     while (idx + 1 < cumWeight_.size() && cumWeight_[idx] <= draw)
         ++idx;
@@ -151,11 +153,18 @@ MixWorkload::next()
     ref.isWrite = rng_.nextBool(st.spec.writeProb);
 
     // Jittered instruction gap: uniform in [0.5g, 1.5g].
-    const double g = spec_.meanGap;
-    ref.instGap = static_cast<std::uint32_t>(
-        rng_.nextRange(static_cast<std::uint64_t>(g * 0.5),
-                       static_cast<std::uint64_t>(g * 1.5)));
+    ref.instGap =
+        static_cast<std::uint32_t>(rng_.nextRange(gapLo_, gapHi_));
     return ref;
+}
+
+void
+MixWorkload::nextBatch(MemRef *out, std::size_t n)
+{
+    // Qualified call: one virtual dispatch per batch, and the
+    // generator loop inlines into a single hot function.
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = MixWorkload::next();
 }
 
 } // namespace toleo

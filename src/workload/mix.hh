@@ -96,6 +96,7 @@ class MixWorkload : public TraceGen
                 std::uint64_t seed);
 
     MemRef next() override;
+    void nextBatch(MemRef *out, std::size_t n) override;
 
   private:
     struct StreamState
@@ -112,6 +113,10 @@ class MixWorkload : public TraceGen
     MixSpec spec_;
     std::vector<StreamState> streams_;
     std::vector<double> cumWeight_;
+    /** Hoisted per-reference constants (see next()). */
+    double totalWeight_ = 0.0;
+    std::uint64_t gapLo_ = 0;
+    std::uint64_t gapHi_ = 0;
     Rng rng_;
 
     Addr addrFor(StreamState &st);

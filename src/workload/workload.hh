@@ -59,6 +59,18 @@ class TraceGen
     /** Produce the next reference. */
     virtual MemRef next() = 0;
 
+    /**
+     * Produce the next @p n references into @p out -- exactly the
+     * sequence n calls to next() would yield.  Generators override
+     * this to amortize the virtual dispatch over a whole batch.
+     */
+    virtual void
+    nextBatch(MemRef *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
     const WorkloadInfo &info() const { return info_; }
 
   protected:

@@ -85,8 +85,9 @@ TEST(SetAssocCache, MarkDirtyOnResident)
 {
     SetAssocCache c(1, 2);
     c.access(1, false);
-    c.markDirty(1);
-    EXPECT_TRUE(c.invalidate(1));
+    EXPECT_TRUE(c.markDirtyIfPresent(1));
+    EXPECT_TRUE(c.invalidate(1)); // invalidate reports it was dirty
+    EXPECT_FALSE(c.markDirtyIfPresent(99));
 }
 
 TEST(SetAssocCache, HitRateMath)

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Determinism regression tests for the sweep pipeline.
+ *
+ * The per-reference hot loop is heavily restructured for speed
+ * (per-core private batching, shared-event replay, MRU shortcuts,
+ * reciprocal-based bounded draws); these tests pin down the contract
+ * that none of it is observable: a fixed seed produces byte-identical
+ * statsToJson output across repeated runs and across worker-thread
+ * counts, and a sweep survives a throwing cell with a real exception
+ * instead of std::terminate.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+
+using namespace toleo;
+
+namespace {
+
+SweepOptions
+tinyWindow(unsigned jobs)
+{
+    SweepOptions opts;
+    opts.cores = 2;
+    opts.warmupRefs = 1000;
+    opts.measureRefs = 3000;
+    opts.jobs = jobs;
+    return opts;
+}
+
+std::vector<SweepCell>
+smallGrid()
+{
+    // One engine of each flavor that exercises distinct machinery.
+    return makeSweepGrid({"bsw", "redis"},
+                         {EngineKind::NoProtect, EngineKind::Toleo,
+                          EngineKind::Merkle});
+}
+
+std::vector<std::string>
+dumpAll(const std::vector<SimStats> &results)
+{
+    std::vector<std::string> dumps;
+    dumps.reserve(results.size());
+    for (const auto &stats : results)
+        dumps.push_back(statsToJson(stats).dump(2));
+    return dumps;
+}
+
+} // namespace
+
+TEST(Determinism, SameSeedSameBytesAcrossRuns)
+{
+    const auto cells = smallGrid();
+    const auto a = dumpAll(runSweep(cells, tinyWindow(1)));
+    const auto b = dumpAll(runSweep(cells, tinyWindow(1)));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << cells[i].workload << "/"
+                              << engineKindName(cells[i].engine);
+}
+
+TEST(Determinism, SameSeedSameBytesAcrossJobCounts)
+{
+    const auto cells = smallGrid();
+    const auto serial = dumpAll(runSweep(cells, tinyWindow(1)));
+    const auto parallel = dumpAll(runSweep(cells, tinyWindow(4)));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i])
+            << cells[i].workload << "/"
+            << engineKindName(cells[i].engine);
+}
+
+TEST(Determinism, DifferentSeedsDiffer)
+{
+    // Sanity check that the byte-compare above is not vacuous.
+    SweepOptions a = tinyWindow(1);
+    SweepOptions b = tinyWindow(1);
+    b.seed = 43;
+    const SweepCell cell{"bsw", EngineKind::Toleo};
+    EXPECT_NE(statsToJson(runSweepCell(cell, a)).dump(2),
+              statsToJson(runSweepCell(cell, b)).dump(2));
+}
+
+TEST(SweepErrors, CellExceptionSurfacesAfterJoin)
+{
+    const auto cells = smallGrid();
+    const auto boom = [](const SweepCell &cell,
+                         const SweepOptions &opts) -> SimStats {
+        if (cell.engine == EngineKind::Merkle)
+            throw std::runtime_error("injected cell failure");
+        return runSweepCell(cell, opts);
+    };
+    // Parallel: the exception must cross the worker-thread boundary
+    // instead of calling std::terminate.
+    EXPECT_THROW(runSweep(cells, tinyWindow(4), {}, nullptr, boom),
+                 std::runtime_error);
+    // Serial path takes the same capture-and-rethrow route.
+    EXPECT_THROW(runSweep(cells, tinyWindow(1), {}, nullptr, boom),
+                 std::runtime_error);
+}
+
+TEST(SweepErrors, FirstErrorWinsAndStopsDispatch)
+{
+    const auto cells = smallGrid();
+    try {
+        runSweep(cells, tinyWindow(1), {}, nullptr,
+                 [](const SweepCell &, const SweepOptions &)
+                     -> SimStats {
+                     throw std::runtime_error("cell 0 failed");
+                 });
+        FAIL() << "expected runSweep to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "cell 0 failed");
+    }
+}
+
+TEST(SweepTiming, CellSecondsReported)
+{
+    const auto cells = smallGrid();
+    std::vector<double> seconds;
+    const auto results = runSweep(cells, tinyWindow(2), {}, &seconds);
+    ASSERT_EQ(seconds.size(), cells.size());
+    ASSERT_EQ(results.size(), cells.size());
+    for (std::size_t i = 0; i < seconds.size(); ++i) {
+        EXPECT_GT(seconds[i], 0.0);
+        EXPECT_LT(seconds[i], 60.0);
+    }
+}

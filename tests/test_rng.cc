@@ -154,3 +154,40 @@ TEST(Zipf, HigherThetaIsMoreSkewed)
     }
     EXPECT_GT(hi_head, lo_head);
 }
+
+TEST(Rng, BoundedMatchesPlainRejectionModulo)
+{
+    // nextBounded's fast paths (power-of-two mask, memoized
+    // Granlund-Montgomery reciprocal) must reproduce the plain
+    // threshold-rejection + modulo algorithm draw for draw.
+    const std::uint64_t bounds[] = {
+        1,       2,          3,     7,      9,    64,   100,
+        1000,    4096,       12289, 786432, 1u << 20,
+        (1u << 20) + 1,      0xffffffffull,
+        0x100000001ull,      0xfffffffffffffffull,
+    };
+    for (const std::uint64_t bound : bounds) {
+        Rng fast(99), ref(99);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t got = fast.nextBounded(bound);
+            std::uint64_t want;
+            const std::uint64_t threshold = -bound % bound;
+            for (;;) {
+                const std::uint64_t r = ref.next();
+                if (r >= threshold) {
+                    want = r % bound;
+                    break;
+                }
+            }
+            ASSERT_EQ(got, want) << "bound=" << bound << " i=" << i;
+        }
+        // Interleaving different bounds exercises the memo reload.
+        ASSERT_EQ(fast.nextBounded(3), [&] {
+            for (;;) {
+                const std::uint64_t r = ref.next();
+                if (r >= (-std::uint64_t{3} % 3))
+                    return r % 3;
+            }
+        }());
+    }
+}

@@ -141,3 +141,34 @@ TEST(StealthCache, ResetStatsClears)
     EXPECT_EQ(sc.hits(), 0u);
     EXPECT_EQ(sc.misses(), 0u);
 }
+
+TEST(StealthCache, ResetStatsDropsCombineBufferState)
+{
+    // Regression: resetStats() used to leave the write-combining
+    // buffer populated, so warmup-phase entries counted as measured
+    // update hits they never earned.
+    StealthCache sc(paperConfig());
+    // Update miss to a cold page allocates its combine entry.
+    EXPECT_FALSE(sc.access(blk(7, 0), TripFormat::Flat, true).hit);
+    sc.resetStats();
+    // After the reset the same update must miss again: the combine
+    // entry from the pre-reset phase is gone.
+    auto r = sc.access(blk(7, 0), TripFormat::Flat, true);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(sc.updateMisses(), 1u);
+    EXPECT_EQ(sc.updateHits(), 0u);
+}
+
+TEST(StealthCache, InvalidatePageDropsCombineEntry)
+{
+    // Regression: invalidatePage() used to leave the page's combine
+    // entry behind, so updates to a reset page falsely coalesced
+    // against the stale pre-reset entry.
+    StealthCache sc(paperConfig());
+    EXPECT_FALSE(sc.access(blk(8, 0), TripFormat::Flat, true).hit);
+    sc.invalidatePage(8);
+    // A fresh update to the reset page must not hit the stale entry.
+    EXPECT_FALSE(sc.access(blk(8, 0), TripFormat::Flat, true).hit);
+    EXPECT_EQ(sc.updateHits(), 0u);
+    EXPECT_EQ(sc.updateMisses(), 2u);
+}

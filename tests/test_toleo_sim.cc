@@ -250,4 +250,87 @@ TEST(ToleoSimBinary, CsvAndBadArgs)
     EXPECT_NE(std::system(bad.c_str()), 0);
 }
 
+TEST(ToleoSimBinary, BenchModeEmitsPerfRecord)
+{
+    const std::string out =
+        ::testing::TempDir() + "/toleo_sim_bench.json";
+    const std::string cmd =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --bench --workloads bsw,dbg --engines NoProtect,Toleo"
+        " --cores 2 --warmup 500 --measure 2000 --jobs 2 --quiet"
+        " --out \"" + out + "\"";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good()) << "missing bench output " << out;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::string err;
+    const Json doc = Json::parse(text.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    EXPECT_EQ(doc.get("mode")->asString(), "bench");
+    EXPECT_GT(doc.get("wallSeconds")->asDouble(), 0.0);
+    EXPECT_GT(doc.get("refsPerSec")->asDouble(), 0.0);
+    // 4 cells x (500 warmup + 2000 measured) x 2 cores.
+    EXPECT_EQ(doc.get("totalRefs")->asUint(), 4u * 2500 * 2);
+
+    const Json *cells = doc.get("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->size(), 4u);
+    for (std::size_t i = 0; i < cells->size(); ++i) {
+        EXPECT_GT(cells->at(i).get("wallSeconds")->asDouble(), 0.0);
+        EXPECT_GT(cells->at(i).get("refsPerSec")->asDouble(), 0.0);
+    }
+
+    // A like-for-like second run reports the before/after delta.
+    const std::string out2 =
+        ::testing::TempDir() + "/toleo_sim_bench2.json";
+    const std::string cmd2 =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --bench --workloads bsw,dbg --engines NoProtect,Toleo"
+        " --cores 2 --warmup 500 --measure 2000 --jobs 2 --quiet"
+        " --bench-prev \"" + out + "\" --out \"" + out2 + "\"";
+    ASSERT_EQ(std::system(cmd2.c_str()), 0) << cmd2;
+    std::ifstream in2(out2);
+    std::ostringstream text2;
+    text2 << in2.rdbuf();
+    const Json doc2 = Json::parse(text2.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(doc2.has("previous"));
+    EXPECT_GT(doc2.get("previous")->get("wallSeconds")->asDouble(),
+              0.0);
+    ASSERT_TRUE(doc2.has("speedupVsPrevious"));
+    EXPECT_GT(doc2.get("speedupVsPrevious")->asDouble(), 0.0);
+
+    // A mismatched grid embeds 'previous' but omits the wall-clock
+    // ratio (comparing different amounts of work is meaningless).
+    const std::string out3 =
+        ::testing::TempDir() + "/toleo_sim_bench3.json";
+    const std::string cmd3 =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --bench --workloads bsw --engines NoProtect"
+        " --cores 2 --warmup 500 --measure 2000 --jobs 1 --quiet"
+        " --bench-prev \"" + out + "\" --out \"" + out3 + "\"";
+    ASSERT_EQ(std::system(cmd3.c_str()), 0) << cmd3;
+    std::ifstream in3(out3);
+    std::ostringstream text3;
+    text3 << in3.rdbuf();
+    const Json doc3 = Json::parse(text3.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(doc3.has("previous"));
+    EXPECT_FALSE(doc3.has("speedupVsPrevious"));
+
+    // bench mode is JSON-only: an explicit CSV request must fail.
+    const std::string bad_fmt =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --bench --format csv --quiet > /dev/null 2>&1";
+    EXPECT_NE(std::system(bad_fmt.c_str()), 0);
+
+    std::remove(out.c_str());
+    std::remove(out2.c_str());
+    std::remove(out3.c_str());
+}
+
 #endif // TOLEO_SIM_BIN

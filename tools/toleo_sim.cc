@@ -18,6 +18,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,10 +35,15 @@ struct CliOptions
 {
     std::string workloads = "bsw";
     std::string engines = "all";
+    bool workloadsSet = false;
     SweepOptions sweep;
     std::string format = "json";
-    std::string outPath; ///< empty = stdout
+    std::string outPath; ///< empty = stdout (bench: BENCH_sweep.json)
     bool progress = true;
+    /** Perf-tracking mode: full grid, BENCH_sweep.json output. */
+    bool bench = false;
+    /** Previous BENCH_sweep.json to embed for before/after deltas. */
+    std::string benchPrevPath;
 };
 
 void
@@ -64,6 +70,13 @@ usage(const char *argv0)
         "  --out FILE        write results to FILE instead of stdout\n"
         "  --quiet           suppress per-cell progress on stderr\n"
         "  --list            list known workloads and engines, then exit\n"
+        "  --bench           perf-tracking mode: run the grid (default\n"
+        "                    the full 12x6 paper grid), measure wall\n"
+        "                    time and refs/sec per cell, and write a\n"
+        "                    BENCH_sweep.json record (see --out)\n"
+        "  --bench-prev F    embed the wallSeconds/refsPerSec of a\n"
+        "                    previous BENCH_sweep.json as 'previous'\n"
+        "                    and report the speedup against it\n"
         "  --help            this message\n",
         argv0);
 }
@@ -100,6 +113,11 @@ parseArgs(int argc, char **argv)
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--workloads")) {
             opts.workloads = nextArg(argc, argv, i);
+            opts.workloadsSet = true;
+        } else if (!std::strcmp(arg, "--bench")) {
+            opts.bench = true;
+        } else if (!std::strcmp(arg, "--bench-prev")) {
+            opts.benchPrevPath = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--engines")) {
             opts.engines = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--cores")) {
@@ -186,13 +204,123 @@ emitCsv(const std::vector<SimStats> &results, std::ostream &os)
         os << statsCsvRow(stats) << "\n";
 }
 
+/** Simulated references per cell: warmup + measurement, all cores. */
+std::uint64_t
+cellRefs(const SweepOptions &opts)
+{
+    return (opts.warmupRefs + opts.measureRefs) * opts.cores;
+}
+
+/**
+ * The machine-readable perf record: wall seconds and refs/sec for
+ * the grid and per cell, so every PR leaves a trajectory point to
+ * compare against (BENCH_sweep.json).
+ */
+void
+emitBench(const CliOptions &opts, const std::vector<SweepCell> &cells,
+          const std::vector<SimStats> &results,
+          const std::vector<double> &cell_seconds, double wall_seconds,
+          std::ostream &os)
+{
+    Json doc = Json::object();
+    doc["tool"] = "toleo_sim";
+    doc["mode"] = "bench";
+
+    Json cfg = Json::object();
+    cfg["cores"] = opts.sweep.cores;
+    cfg["warmupRefs"] = opts.sweep.warmupRefs;
+    cfg["measureRefs"] = opts.sweep.measureRefs;
+    cfg["seed"] = opts.sweep.seed;
+    cfg["jobs"] = opts.sweep.jobs;
+    cfg["cells"] = static_cast<std::uint64_t>(cells.size());
+    doc["config"] = std::move(cfg);
+
+    const std::uint64_t total_refs = cellRefs(opts.sweep) * cells.size();
+    doc["wallSeconds"] = wall_seconds;
+    doc["totalRefs"] = total_refs;
+    doc["refsPerSec"] =
+        wall_seconds > 0.0
+            ? static_cast<double>(total_refs) / wall_seconds
+            : 0.0;
+
+    Json arr = Json::array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        Json cell = Json::object();
+        cell["workload"] = results[i].workload;
+        cell["engine"] = results[i].engine;
+        cell["wallSeconds"] = cell_seconds[i];
+        cell["refsPerSec"] =
+            cell_seconds[i] > 0.0
+                ? static_cast<double>(cellRefs(opts.sweep)) /
+                      cell_seconds[i]
+                : 0.0;
+        cell["ipc"] = results[i].ipc;
+        cell["llcMpki"] = results[i].llcMpki;
+        arr.push_back(std::move(cell));
+    }
+    doc["cells"] = std::move(arr);
+
+    if (!opts.benchPrevPath.empty()) {
+        std::ifstream in(opts.benchPrevPath);
+        if (!in)
+            fatal("cannot open --bench-prev file '%s'",
+                  opts.benchPrevPath.c_str());
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        const Json prev_doc = Json::parse(text.str(), &err);
+        if (!err.empty())
+            fatal("--bench-prev '%s': %s", opts.benchPrevPath.c_str(),
+                  err.c_str());
+        Json prev = Json::object();
+        if (const Json *w = prev_doc.get("wallSeconds"))
+            prev["wallSeconds"] = w->asDouble();
+        if (const Json *r = prev_doc.get("refsPerSec"))
+            prev["refsPerSec"] = r->asDouble();
+        if (const Json *n = prev_doc.get("note"))
+            prev["note"] = n->asString();
+        // A wall-clock ratio is only meaningful when both records
+        // simulated the same amount of work with the same worker
+        // count; otherwise just embed the previous numbers.
+        const Json *pw = prev_doc.get("wallSeconds");
+        const Json *pt = prev_doc.get("totalRefs");
+        const Json *pcfg = prev_doc.get("config");
+        const bool same_jobs =
+            !pcfg || !pcfg->get("jobs") ||
+            pcfg->get("jobs")->asUint() == opts.sweep.jobs;
+        if (pw && pt && wall_seconds > 0.0 &&
+            pt->asUint() == total_refs && same_jobs) {
+            doc["speedupVsPrevious"] = pw->asDouble() / wall_seconds;
+        } else if (pw) {
+            warn("--bench-prev '%s' ran a different grid or job "
+                 "count; omitting speedupVsPrevious",
+                 opts.benchPrevPath.c_str());
+        }
+        doc["previous"] = std::move(prev);
+    }
+
+    doc.dump(os, 2);
+    os << "\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    const CliOptions opts = parseArgs(argc, argv);
+    CliOptions opts = parseArgs(argc, argv);
+    if (opts.bench) {
+        // Perf tracking defaults: the full paper grid, written to
+        // the trajectory file unless redirected.
+        if (!opts.workloadsSet)
+            opts.workloads = "all";
+        if (opts.outPath.empty())
+            opts.outPath = "BENCH_sweep.json";
+        if (opts.format == "csv")
+            fatal("--bench emits a JSON perf record; "
+                  "--format csv is not supported in bench mode");
+    }
 
     const auto workloads = parseWorkloadList(opts.workloads);
     const auto engines = parseEngineList(opts.engines);
@@ -222,13 +350,17 @@ main(int argc, char **argv)
     std::ostream &os = opts.outPath.empty() ? std::cout : file;
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto results = runSweep(cells, opts.sweep, progress);
+    std::vector<double> cell_seconds;
+    const auto results = runSweep(cells, opts.sweep, progress,
+                                  opts.bench ? &cell_seconds : nullptr);
     const double wall_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
             .count();
 
-    if (opts.format == "csv")
+    if (opts.bench)
+        emitBench(opts, cells, results, cell_seconds, wall_seconds, os);
+    else if (opts.format == "csv")
         emitCsv(results, os);
     else
         emitJson(opts, cells, results, wall_seconds, os);
