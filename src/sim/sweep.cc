@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "workload/trace_file.hh"
 
 namespace toleo {
 
@@ -17,6 +18,9 @@ runSweepCell(const SweepCell &cell, const SweepOptions &opts)
     SystemConfig cfg =
         makeScaledConfig(cell.workload, cell.engine, opts.cores);
     cfg.seed = opts.seed;
+    cfg.trace = opts.trace;
+    cfg.tracePath = opts.tracePath;
+    cfg.recordTracePath = opts.recordTracePath;
     System sys(cfg);
     return sys.run(opts.warmupRefs, opts.measureRefs);
 }
@@ -38,6 +42,29 @@ runSweep(const std::vector<SweepCell> &cells,
          const SweepOptions &opts, const SweepProgressFn &progress,
          std::vector<double> *cellSeconds, const SweepCellFn &cellFn)
 {
+    // Recording writes one trace file per run(), so a multi-cell
+    // grid would have every cell truncate and rewrite the same path
+    // (concurrently under jobs>1).  Enforce the invariant here, not
+    // just in the toleo_sim CLI, so library callers hit a clean
+    // error instead of a corrupt capture.
+    if (!opts.recordTracePath.empty() && cells.size() > 1)
+        throw TraceError(
+            "recordTracePath captures a single cell; got " +
+            std::to_string(cells.size()) + " cells");
+
+    // Honor the load-once contract (see SweepOptions::trace) for
+    // every caller, not just the toleo_sim CLI: open and validate a
+    // path-specified trace here so cells share one read-only
+    // instance instead of re-decoding the file per cell.
+    SweepOptions shared;
+    const SweepOptions *optsp = &opts;
+    if (!opts.tracePath.empty() && !opts.trace) {
+        shared = opts;
+        shared.trace = TraceFile::open(opts.tracePath);
+        optsp = &shared;
+    }
+    const SweepOptions &effOpts = *optsp;
+
     std::vector<SimStats> results(cells.size());
     if (cellSeconds)
         cellSeconds->assign(cells.size(), 0.0);
@@ -66,8 +93,8 @@ runSweep(const std::vector<SweepCell> &cells,
                 return;
             try {
                 const auto t0 = std::chrono::steady_clock::now();
-                results[i] = cellFn ? cellFn(cells[i], opts)
-                                    : runSweepCell(cells[i], opts);
+                results[i] = cellFn ? cellFn(cells[i], effOpts)
+                                    : runSweepCell(cells[i], effOpts);
                 if (cellSeconds) {
                     (*cellSeconds)[i] =
                         std::chrono::duration<double>(

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,16 @@ struct SweepOptions
     std::uint64_t seed = 42;
     /** Worker threads; cells run serially when 1. */
     unsigned jobs = 1;
+    /** Replay cells from this trace file instead of synthesizing. */
+    std::string tracePath;
+    /**
+     * Already-loaded trace to replay; takes precedence over
+     * tracePath.  Cells share the instance read-only, so a sweep
+     * validates and decodes the file once, not once per cell.
+     */
+    std::shared_ptr<const TraceFile> trace;
+    /** Record the (single) cell's generator streams to this file. */
+    std::string recordTracePath;
 };
 
 /** Build and run the System for one cell. */

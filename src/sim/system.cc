@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "secmem/noprotect.hh"
+#include "workload/trace_file.hh"
 
 namespace toleo {
 
@@ -65,8 +66,35 @@ System::System(const SystemConfig &cfg)
         break;
     }
 
-    for (unsigned c = 0; c < cfg.numCores; ++c)
-        gens_.push_back(makeWorkload(cfg.workload, c, cfg.seed));
+    const bool replaying = cfg.trace || !cfg.tracePath.empty();
+    // TraceError, not fatal(): every trace defect throws (see
+    // trace_file.hh) so library callers can catch it.
+    if (replaying && !cfg.recordTracePath.empty())
+        throw TraceError(
+            "a System cannot replay and record a trace at once");
+    if (replaying) {
+        trace_ = cfg.trace ? cfg.trace : TraceFile::open(cfg.tracePath);
+        if (trace_->workload() != cfg.workload) {
+            warn("trace '%s' was captured from workload '%s' but is "
+                 "replayed under '%s' metadata",
+                 cfg.tracePath.empty() ? "<preloaded>"
+                                       : cfg.tracePath.c_str(),
+                 trace_->workload().c_str(), cfg.workload.c_str());
+        }
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            gens_.push_back(
+                std::make_unique<TraceReplayGen>(winfo_, trace_, c));
+    } else {
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            gens_.push_back(makeWorkload(cfg.workload, c, cfg.seed));
+        if (!cfg.recordTracePath.empty()) {
+            traceWriter_ = std::make_unique<TraceWriter>(
+                cfg.numCores, cfg.workload, cfg.seed);
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                gens_[c] = std::make_unique<RecordingTraceGen>(
+                    std::move(gens_[c]), *traceWriter_, c);
+        }
+    }
 
     coreInsts_.assign(cfg.numCores, 0);
     coreStallNs_.assign(cfg.numCores, 0.0);
@@ -381,6 +409,11 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
         out.toleoUpgrades = device_->store().upgradesToUneven() +
                             device_->store().upgradesToFull();
     }
+
+    // Flush the capture (warmup + measurement) so a replay of the
+    // same window consumes exactly the recorded stream.
+    if (traceWriter_)
+        traceWriter_->writeTo(cfg_.recordTracePath);
     return out;
 }
 

@@ -40,6 +40,9 @@
 
 namespace toleo {
 
+class TraceFile;
+class TraceWriter;
+
 /** The protection configurations evaluated in Section 7. */
 enum class EngineKind
 {
@@ -74,6 +77,21 @@ struct SystemConfig
     std::uint64_t epochRefs = 16384;
     /** Timeline samples to keep (Figure 12). */
     unsigned timelinePoints = 64;
+    /**
+     * Replay per-core reference streams from this trace file (see
+     * workload/trace_file.hh) instead of synthesizing them; the
+     * workload name still selects the Table-2 metadata (footprint,
+     * MLP) the timing model uses.
+     */
+    std::string tracePath;
+    /**
+     * Already-loaded trace to replay; takes precedence over
+     * tracePath so sweep drivers can validate/decode once and share
+     * the read-only instance across cells.
+     */
+    std::shared_ptr<const TraceFile> trace;
+    /** Record every core's generated stream to this trace file. */
+    std::string recordTracePath;
 };
 
 /** Everything a bench needs to print one row of any paper table. */
@@ -227,6 +245,11 @@ class System
     ToleoEngine *toleoEngine_ = nullptr;   ///< borrowed, stats
     std::vector<std::unique_ptr<TraceGen>> gens_;
     WorkloadInfo winfo_;
+
+    /** Backing trace when cfg_.tracePath is set (shared, read-only). */
+    std::shared_ptr<const TraceFile> trace_;
+    /** Capture sink when cfg_.recordTracePath is set; flushed by run(). */
+    std::unique_ptr<TraceWriter> traceWriter_;
 
     /** Per-core progress. */
     std::vector<std::uint64_t> coreInsts_;

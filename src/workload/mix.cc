@@ -1,5 +1,6 @@
 #include "workload/mix.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -51,8 +52,21 @@ MixWorkload::MixWorkload(WorkloadInfo info, MixSpec spec, unsigned core,
         cumWeight_.push_back(cum);
     }
     totalWeight_ = cumWeight_.back();
-    gapLo_ = static_cast<std::uint64_t>(spec_.meanGap * 0.5);
-    gapHi_ = static_cast<std::uint64_t>(spec_.meanGap * 1.5);
+    // Jitter bounds [0.5g, 1.5g], truncated.  Guard the degenerate
+    // cases: a non-finite, negative, or over-range meanGap must not
+    // reach the float->unsigned cast (UB for values the target type
+    // cannot represent), and truncation must never leave
+    // gapHi_ < gapLo_, which would feed nextRange an inverted
+    // interval.  The cap keeps gapHi_ = 1.5g inside MemRef's u32
+    // instGap field.  Small positive gaps (meanGap < 2) legitimately
+    // collapse toward [0, g]; they stay well-formed here.
+    constexpr double maxGap = 0x7fffffff; // 1.5x still fits in u32
+    const double gap =
+        std::isfinite(spec_.meanGap) && spec_.meanGap > 0.0
+            ? std::min(spec_.meanGap, maxGap)
+            : 0.0;
+    gapLo_ = static_cast<std::uint64_t>(gap * 0.5);
+    gapHi_ = std::max(gapLo_, static_cast<std::uint64_t>(gap * 1.5));
 }
 
 Addr

@@ -7,8 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <unordered_set>
+#include <utility>
 
 #include "workload/mix.hh"
 
@@ -145,6 +150,82 @@ TEST(ZipfScattered, HotRanksSpreadAcrossPages)
         pages.insert(pageOf(w.next().addr));
     // Hash layout: even the hot head spans many pages.
     EXPECT_GT(pages.size(), 50u);
+}
+
+namespace {
+
+/** Observed [min, max] of instGap over @p draws references. */
+std::pair<std::uint32_t, std::uint32_t>
+gapRange(double meanGap, int draws = 20000)
+{
+    StreamSpec s;
+    s.pattern = Pattern::HotSeq;
+    s.regionBytes = 64 * KiB;
+    MixWorkload w(info(), {{s}, meanGap}, 0, 7);
+    std::uint32_t lo = ~std::uint32_t{0}, hi = 0;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint32_t g = w.next().instGap;
+        lo = std::min(lo, g);
+        hi = std::max(hi, g);
+    }
+    return {lo, hi};
+}
+
+} // namespace
+
+TEST(MixGap, JitterSpansHalfToOneAndAHalfTimesTheMean)
+{
+    // The nominal case every paper workload uses: meanGap 8 jitters
+    // uniformly over [4, 12], and a long run hits both endpoints.
+    const auto [lo, hi] = gapRange(8.0);
+    EXPECT_EQ(lo, 4u);
+    EXPECT_EQ(hi, 12u);
+}
+
+TEST(MixGap, SmallMeanGapStaysWellFormed)
+{
+    // llama2-gen runs with meanGap 1: truncation collapses the
+    // jitter to [0, 1], which must stay a valid (non-inverted)
+    // range rather than feed the RNG an empty interval.
+    const auto [lo1, hi1] = gapRange(1.0);
+    EXPECT_EQ(lo1, 0u);
+    EXPECT_EQ(hi1, 1u);
+
+    // Sub-unit and zero gaps degenerate to always-0, not a panic.
+    const auto [lo_half, hi_half] = gapRange(0.5, 2000);
+    EXPECT_EQ(lo_half, 0u);
+    EXPECT_EQ(hi_half, 0u);
+    const auto [lo0, hi0] = gapRange(0.0, 2000);
+    EXPECT_EQ(lo0, 0u);
+    EXPECT_EQ(hi0, 0u);
+}
+
+TEST(MixGap, NegativeMeanGapIsClampedToZero)
+{
+    // A negative meanGap used to reach a float->unsigned cast (UB)
+    // and could invert the range; it now clamps to gap 0.
+    const auto [lo, hi] = gapRange(-3.0, 2000);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 0u);
+}
+
+TEST(MixGap, NonFiniteAndOversizedMeanGapsAreGuarded)
+{
+    // +inf and NaN would also hit the float->unsigned UB cast; they
+    // degrade to gap 0.
+    const auto [ilo, ihi] =
+        gapRange(std::numeric_limits<double>::infinity(), 500);
+    EXPECT_EQ(ilo, 0u);
+    EXPECT_EQ(ihi, 0u);
+    const auto [nlo, nhi] = gapRange(std::nan(""), 500);
+    EXPECT_EQ(nlo, 0u);
+    EXPECT_EQ(nhi, 0u);
+
+    // A finite but absurd mean is capped so 1.5g still fits the u32
+    // instGap field and the range stays well-formed.
+    const auto [blo, bhi] = gapRange(1e18, 500);
+    EXPECT_LE(blo, bhi);
+    EXPECT_GE(blo, std::uint32_t{1} << 29);
 }
 
 TEST(MixWorkload, StreamStrideRespected)

@@ -6,9 +6,11 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -58,6 +60,44 @@ TEST(Json, StringEscapes)
     const Json uni = Json::parse("\"\\u0041\\u00e9\"", &err);
     ASSERT_TRUE(err.empty()) << err;
     EXPECT_EQ(uni.asString(), "A\xc3\xa9");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    // JSON has no NaN/Inf literals; %.17g's "nan"/"inf" spellings
+    // would make the document unparseable, so non-finite doubles
+    // must degrade to null.
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(Json(nan).dump(), "null");
+    EXPECT_EQ(Json(inf).dump(), "null");
+    EXPECT_EQ(Json(-inf).dump(), "null");
+
+    Json doc = Json::object();
+    doc["a"] = nan;
+    doc["b"] = inf;
+    doc["c"] = -inf;
+    doc["fine"] = 1.5;
+    Json arr = Json::array();
+    arr.push_back(nan);
+    arr.push_back(2.5);
+    doc["arr"] = std::move(arr);
+
+    for (const int indent : {-1, 2}) {
+        const std::string text = doc.dump(indent);
+        EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+        EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+
+        std::string err;
+        const Json back = Json::parse(text, &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_TRUE(back.get("a")->isNull());
+        EXPECT_TRUE(back.get("b")->isNull());
+        EXPECT_TRUE(back.get("c")->isNull());
+        EXPECT_DOUBLE_EQ(back.get("fine")->asDouble(), 1.5);
+        EXPECT_TRUE(back.get("arr")->at(0).isNull());
+        EXPECT_DOUBLE_EQ(back.get("arr")->at(1).asDouble(), 2.5);
+    }
 }
 
 TEST(Json, ParseErrors)

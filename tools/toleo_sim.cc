@@ -26,6 +26,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/sweep.hh"
+#include "workload/trace_file.hh"
 
 using namespace toleo;
 
@@ -68,6 +69,13 @@ usage(const char *argv0)
         "  --seed N          simulation seed (default: 42)\n"
         "  --format FMT      json or csv (default: json)\n"
         "  --out FILE        write results to FILE instead of stdout\n"
+        "  --trace FILE      replay every cell's reference streams\n"
+        "                    from a recorded trace instead of the\n"
+        "                    synthetic generators (looped when the\n"
+        "                    window outruns the capture)\n"
+        "  --record-trace F  capture the generator streams of a\n"
+        "                    single (workload x engine) cell to F,\n"
+        "                    replayable with --trace\n"
         "  --quiet           suppress per-cell progress on stderr\n"
         "  --list            list known workloads and engines, then exit\n"
         "  --bench           perf-tracking mode: run the grid (default\n"
@@ -146,6 +154,10 @@ parseArgs(int argc, char **argv)
                 fatal("--format must be json or csv");
         } else if (!std::strcmp(arg, "--out")) {
             opts.outPath = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--trace")) {
+            opts.sweep.tracePath = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--record-trace")) {
+            opts.sweep.recordTracePath = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--quiet")) {
             opts.progress = false;
         } else if (!std::strcmp(arg, "--list")) {
@@ -320,11 +332,68 @@ main(int argc, char **argv)
         if (opts.format == "csv")
             fatal("--bench emits a JSON perf record; "
                   "--format csv is not supported in bench mode");
+        // The trajectory tracks synthetic-generator speed; a replay
+        // (or recording) run would write a bogus perf point and a
+        // meaningless speedupVsPrevious against it.
+        if (!opts.sweep.tracePath.empty() ||
+            !opts.sweep.recordTracePath.empty())
+            fatal("--bench measures the synthetic generators; "
+                  "--trace/--record-trace are not supported in "
+                  "bench mode");
     }
 
     const auto workloads = parseWorkloadList(opts.workloads);
     const auto engines = parseEngineList(opts.engines);
     const auto cells = makeSweepGrid(workloads, engines);
+
+    if (!opts.sweep.recordTracePath.empty()) {
+        if (!opts.sweep.tracePath.empty())
+            fatal("--record-trace cannot be combined with --trace");
+        // Concurrent cells would clobber one file; with a fixed seed
+        // every cell of a workload generates the same stream anyway.
+        if (cells.size() != 1)
+            fatal("--record-trace captures a single cell; got %zu "
+                  "cells (pick one workload and one engine)",
+                  cells.size());
+        // Probe the output path now so a typo fails in milliseconds,
+        // not after the whole capture window has been simulated.
+        // Append mode: a writability check must not truncate an
+        // existing capture that a failed run would then have
+        // destroyed (the writer truncates when it flushes at end of
+        // run).
+        std::ofstream probe(opts.sweep.recordTracePath,
+                            std::ios::binary | std::ios::app);
+        if (!probe)
+            fatal("cannot open trace file '%s' for writing",
+                  opts.sweep.recordTracePath.c_str());
+    }
+    if (!opts.sweep.tracePath.empty()) {
+        // Open (and fully validate) the trace up front so a bad path
+        // or corrupt file fails in milliseconds, not mid-sweep -- and
+        // share the one read-only instance across every cell instead
+        // of re-decoding the file per cell.
+        try {
+            opts.sweep.trace = TraceFile::open(opts.sweep.tracePath);
+        } catch (const TraceError &e) {
+            fatal("%s", e.what());
+        }
+        if (opts.progress) {
+            // Streams can be unequal (e.g. trace_convert's
+            // round-robin remainder), so report the total.
+            std::uint64_t records = 0;
+            const unsigned nstreams =
+                opts.sweep.trace->streamCount();
+            for (unsigned s = 0; s < nstreams; ++s)
+                records += opts.sweep.trace->recordCount(s);
+            std::fprintf(stderr,
+                         "trace '%s': workload %s, %u streams, "
+                         "%llu records\n",
+                         opts.sweep.tracePath.c_str(),
+                         opts.sweep.trace->workload().c_str(),
+                         nstreams,
+                         static_cast<unsigned long long>(records));
+        }
+    }
 
     SweepProgressFn progress;
     if (opts.progress) {
@@ -351,8 +420,13 @@ main(int argc, char **argv)
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<double> cell_seconds;
-    const auto results = runSweep(cells, opts.sweep, progress,
-                                  opts.bench ? &cell_seconds : nullptr);
+    std::vector<SimStats> results;
+    try {
+        results = runSweep(cells, opts.sweep, progress,
+                           opts.bench ? &cell_seconds : nullptr);
+    } catch (const std::exception &e) {
+        fatal("sweep failed: %s", e.what());
+    }
     const double wall_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
