@@ -1,0 +1,186 @@
+#include "sim/rack.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "toleo/ide_channel.hh"
+
+namespace toleo {
+
+RackConfig
+makeRackConfig(unsigned nodes, const SystemConfig &base)
+{
+    RackConfig rc;
+    rc.device = base.device;
+    rc.nodes.reserve(nodes);
+    for (unsigned i = 0; i < nodes; ++i) {
+        SystemConfig sc = base;
+        sc.seed = base.seed + i;
+        rc.nodes.push_back(std::move(sc));
+    }
+    return rc;
+}
+
+RackStats
+runRack(const RackConfig &cfg)
+{
+    const unsigned n = static_cast<unsigned>(cfg.nodes.size());
+    if (n == 0)
+        throw std::invalid_argument("runRack: rack has no nodes");
+
+    double maxLinkGBps = 0.0;
+    for (const SystemConfig &sc : cfg.nodes)
+        maxLinkGBps =
+            std::max(maxLinkGBps, sc.mem.toleoLinkBandwidthGBps);
+    const double service = cfg.deviceServiceGBps > 0.0
+                               ? cfg.deviceServiceGBps
+                               : cfg.serviceFactor * maxLinkGBps;
+    // Every node's own epoch already stretches to drain its link
+    // (System's bandwidth floor), so epoch traffic never exceeds
+    // linkGBps * epochNs.  Service >= the fastest link therefore
+    // guarantees a lone node never backlogs -- the 1-node
+    // bit-identity invariant.  A slower device would stall even an
+    // uncontended node, which is a misconfiguration, not contention.
+    if (service < maxLinkGBps)
+        throw std::invalid_argument(
+            "runRack: deviceServiceGBps below the fastest node's "
+            "Toleo link bandwidth");
+
+    ToleoDevice device(cfg.device);
+    for (unsigned i = 1; i < n; ++i)
+        device.addInitiator();
+
+    std::vector<std::unique_ptr<System>> systems;
+    systems.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        SystemConfig sc = cfg.nodes[i];
+        sc.sharedDevice = &device;
+        systems.push_back(std::make_unique<System>(sc));
+    }
+
+    RackStats out;
+    out.nodes.resize(n);
+    out.deviceServiceGBps = service;
+
+    IdeLinkArbiter arbiter(n);
+    for (unsigned i = 0; i < n; ++i)
+        systems[i]->beginRun(cfg.warmupRefs, cfg.measureRefs);
+
+    std::vector<bool> alive(n, true);
+    for (bool anyAlive = true; anyAlive;) {
+        anyAlive = false;
+
+        // Step every live node one traffic epoch, strictly in node
+        // order: the shared store (and its reset RNG) sees one
+        // deterministic global operation sequence.
+        device.beginInitiatorEpoch();
+        double epochNs = 0.0;
+        std::uint64_t offered = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            device.setActiveInitiator(i);
+            const bool more = systems[i]->stepEpoch();
+            // The step that retires a node still closed its final
+            // epoch; its traffic competes like any other.
+            const std::uint64_t bytes =
+                systems[i]->lastEpochToleoBytes();
+            arbiter.enqueue(i, bytes);
+            offered += bytes;
+            RackNodeStats &ns = out.nodes[i];
+            ns.toleoLinkBytes += bytes;
+            ns.peakEpochRequests = std::max(
+                ns.peakEpochRequests, device.epochRequests(i));
+            epochNs = std::max(epochNs, systems[i]->lastEpochWallNs());
+            alive[i] = more;
+            anyAlive = anyAlive || more;
+        }
+
+        // Epoch barrier: the device drains at its service bandwidth
+        // for the slowest node's epoch.  ceil keeps the capacity an
+        // upper bound of service * epochNs so float truncation can
+        // never manufacture a 1-byte backlog for a lone node.
+        const std::uint64_t capacity = static_cast<std::uint64_t>(
+            std::ceil(service * epochNs));
+        arbiter.serveEpoch(capacity);
+        // Saturation is an offered-vs-service statement about *this*
+        // epoch's traffic; backlog draining from an earlier burst
+        // shows up in the stall/backlog stats, not here.
+        if (offered > capacity)
+            ++out.saturatedEpochs;
+
+        // Bill each node's unserved backlog as core stall: the node
+        // cannot retire version traffic faster than the device
+        // drains its queue.  Retired nodes keep their queue (it
+        // still competes) but their report is already final.
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t backlog = arbiter.pendingBytes(i);
+            if (backlog == 0)
+                continue;
+            RackNodeStats &ns = out.nodes[i];
+            ns.peakBacklogBytes =
+                std::max(ns.peakBacklogBytes, backlog);
+            ++ns.stalledEpochs;
+            if (alive[i]) {
+                const double stallNs =
+                    static_cast<double>(backlog) / service;
+                systems[i]->addRackStallNs(stallNs);
+                ns.contentionStallNs += stallNs;
+            }
+        }
+
+        out.sharedDynamicPeakBytes = std::max(
+            out.sharedDynamicPeakBytes, device.dynamicBytesUsed());
+        ++out.epochs;
+    }
+
+    for (unsigned i = 0; i < n; ++i) {
+        device.setActiveInitiator(i);
+        out.nodes[i].sim = systems[i]->finishRun();
+        out.nodes[i].deviceRequests = device.totalRequests(i);
+    }
+
+    out.deviceGrantedBytes = arbiter.totalGrantedBytes();
+    out.devicePeakBacklogBytes = arbiter.peakBacklogBytes();
+    out.sharedTouchedPages = device.store().touchedPages();
+    out.spaceRejections = device.spaceRejections();
+    const std::uint64_t dynCap = device.dynamicCapacityBytes();
+    out.downgradePressure =
+        dynCap > 0 ? static_cast<double>(out.sharedDynamicPeakBytes) /
+                         static_cast<double>(dynCap)
+                   : 0.0;
+    return out;
+}
+
+Json
+rackStatsToJson(const RackStats &stats)
+{
+    Json j = Json::object();
+    Json nodes = Json::array();
+    for (const RackNodeStats &ns : stats.nodes) {
+        Json node = Json::object();
+        node["sim"] = statsToJson(ns.sim);
+        node["deviceRequests"] = ns.deviceRequests;
+        node["toleoLinkBytes"] = ns.toleoLinkBytes;
+        node["contentionStallNs"] = ns.contentionStallNs;
+        node["peakBacklogBytes"] = ns.peakBacklogBytes;
+        node["stalledEpochs"] = ns.stalledEpochs;
+        node["peakEpochRequests"] = ns.peakEpochRequests;
+        nodes.push_back(std::move(node));
+    }
+    j["nodes"] = std::move(nodes);
+    j["epochs"] = stats.epochs;
+    j["saturatedEpochs"] = stats.saturatedEpochs;
+    j["deviceServiceGBps"] = stats.deviceServiceGBps;
+    j["deviceGrantedBytes"] = stats.deviceGrantedBytes;
+    j["devicePeakBacklogBytes"] = stats.devicePeakBacklogBytes;
+    j["downgradePressure"] = stats.downgradePressure;
+    j["spaceRejections"] = stats.spaceRejections;
+    j["sharedTouchedPages"] = stats.sharedTouchedPages;
+    j["sharedDynamicPeakBytes"] = stats.sharedDynamicPeakBytes;
+    return j;
+}
+
+} // namespace toleo

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logging.hh"
@@ -37,42 +38,27 @@ makeSweepGrid(const std::vector<std::string> &workloads,
     return cells;
 }
 
-std::vector<SimStats>
-runSweep(const std::vector<SweepCell> &cells,
-         const SweepOptions &opts, const SweepProgressFn &progress,
-         std::vector<double> *cellSeconds, const SweepCellFn &cellFn)
+namespace {
+
+/**
+ * Worker-pool core shared by runSweep and runRackSweep: run
+ * work(i) for i in [0, n) on up to @p jobsOpt threads.  An exception
+ * anywhere inside a cell must not escape a worker thread (that would
+ * std::terminate the whole sweep with no diagnostics): the first one
+ * is captured, no new cells are handed out, and it is rethrown once
+ * every worker has joined.  onDone(i, completed) runs under a lock
+ * after each successful cell, so progress callbacks need not be
+ * thread-safe.
+ */
+template <typename Work, typename Done>
+void
+runCellPool(std::size_t n, unsigned jobsOpt, const Work &work,
+            const Done &onDone)
 {
-    // Recording writes one trace file per run(), so a multi-cell
-    // grid would have every cell truncate and rewrite the same path
-    // (concurrently under jobs>1).  Enforce the invariant here, not
-    // just in the toleo_sim CLI, so library callers hit a clean
-    // error instead of a corrupt capture.
-    if (!opts.recordTracePath.empty() && cells.size() > 1)
-        throw TraceError(
-            "recordTracePath captures a single cell; got " +
-            std::to_string(cells.size()) + " cells");
-
-    // Honor the load-once contract (see SweepOptions::trace) for
-    // every caller, not just the toleo_sim CLI: open and validate a
-    // path-specified trace here so cells share one read-only
-    // instance instead of re-decoding the file per cell.
-    SweepOptions shared;
-    const SweepOptions *optsp = &opts;
-    if (!opts.tracePath.empty() && !opts.trace) {
-        shared = opts;
-        shared.trace = TraceFile::open(opts.tracePath);
-        optsp = &shared;
-    }
-    const SweepOptions &effOpts = *optsp;
-
-    std::vector<SimStats> results(cells.size());
-    if (cellSeconds)
-        cellSeconds->assign(cells.size(), 0.0);
-    if (cells.empty())
-        return results;
-
-    const unsigned jobs = std::max(
-        1u, std::min<unsigned>(opts.jobs, cells.size()));
+    if (n == 0)
+        return;
+    const unsigned jobs =
+        std::max(1u, std::min<unsigned>(jobsOpt, n));
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -80,27 +66,15 @@ runSweep(const std::vector<SweepCell> &cells,
     std::mutex progressMutex;
     std::exception_ptr firstError;
 
-    // An exception anywhere inside a cell must not escape a worker
-    // thread (that would std::terminate the whole sweep with no
-    // diagnostics).  Capture the first one, stop handing out new
-    // cells, and rethrow once every worker has joined.
     auto worker = [&] {
         for (;;) {
             if (failed.load(std::memory_order_relaxed))
                 return;
             const std::size_t i = next.fetch_add(1);
-            if (i >= cells.size())
+            if (i >= n)
                 return;
             try {
-                const auto t0 = std::chrono::steady_clock::now();
-                results[i] = cellFn ? cellFn(cells[i], effOpts)
-                                    : runSweepCell(cells[i], effOpts);
-                if (cellSeconds) {
-                    (*cellSeconds)[i] =
-                        std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-                }
+                work(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(progressMutex);
                 if (!firstError)
@@ -109,9 +83,9 @@ runSweep(const std::vector<SweepCell> &cells,
                 return;
             }
             const std::size_t d = done.fetch_add(1) + 1;
-            if (progress) {
+            {
                 std::lock_guard<std::mutex> lock(progressMutex);
-                progress(results[i], d, cells.size());
+                onDone(i, d);
             }
         }
     };
@@ -129,6 +103,122 @@ runSweep(const std::vector<SweepCell> &cells,
 
     if (firstError)
         std::rethrow_exception(firstError);
+}
+
+/**
+ * Honor the load-once contract (see SweepOptions::trace) for every
+ * caller, not just the toleo_sim CLI: open and validate a
+ * path-specified trace once so cells share one read-only instance
+ * instead of re-decoding the file per cell.  Returns the effective
+ * options, using @p shared as backing storage when a copy is needed.
+ */
+const SweepOptions &
+withPreloadedTrace(const SweepOptions &opts, SweepOptions &shared)
+{
+    if (opts.tracePath.empty() || opts.trace)
+        return opts;
+    shared = opts;
+    shared.trace = TraceFile::open(opts.tracePath);
+    return shared;
+}
+
+} // namespace
+
+std::vector<SimStats>
+runSweep(const std::vector<SweepCell> &cells,
+         const SweepOptions &opts, const SweepProgressFn &progress,
+         std::vector<double> *cellSeconds, const SweepCellFn &cellFn)
+{
+    // Recording writes one trace file per run(), so a multi-cell
+    // grid would have every cell truncate and rewrite the same path
+    // (concurrently under jobs>1).  Enforce the invariant here, not
+    // just in the toleo_sim CLI, so library callers hit a clean
+    // error instead of a corrupt capture.
+    if (!opts.recordTracePath.empty() && cells.size() > 1)
+        throw TraceError(
+            "recordTracePath captures a single cell; got " +
+            std::to_string(cells.size()) + " cells");
+
+    SweepOptions shared;
+    const SweepOptions &effOpts = withPreloadedTrace(opts, shared);
+
+    std::vector<SimStats> results(cells.size());
+    if (cellSeconds)
+        cellSeconds->assign(cells.size(), 0.0);
+
+    runCellPool(
+        cells.size(), opts.jobs,
+        [&](std::size_t i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            results[i] = cellFn ? cellFn(cells[i], effOpts)
+                                : runSweepCell(cells[i], effOpts);
+            if (cellSeconds) {
+                (*cellSeconds)[i] =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            }
+        },
+        [&](std::size_t i, std::size_t d) {
+            if (progress)
+                progress(results[i], d, cells.size());
+        });
+    return results;
+}
+
+RackStats
+runRackSweepCell(const SweepCell &cell, const SweepOptions &opts)
+{
+    SystemConfig base =
+        makeScaledConfig(cell.workload, cell.engine, opts.cores);
+    base.seed = opts.seed;
+    base.trace = opts.trace;
+    base.tracePath = opts.tracePath;
+    RackConfig rc = makeRackConfig(opts.rackNodes, base);
+    rc.deviceServiceGBps = opts.rackServiceGBps;
+    rc.warmupRefs = opts.warmupRefs;
+    rc.measureRefs = opts.measureRefs;
+    return runRack(rc);
+}
+
+std::vector<RackStats>
+runRackSweep(const std::vector<SweepCell> &cells,
+             const SweepOptions &opts,
+             const RackSweepProgressFn &progress,
+             std::vector<double> *cellSeconds)
+{
+    if (opts.rackNodes == 0)
+        throw std::invalid_argument(
+            "runRackSweep: rackNodes must be positive");
+    // Rack cells run N Systems; recording would have every node
+    // truncate and rewrite one capture path.
+    if (!opts.recordTracePath.empty())
+        throw TraceError(
+            "recordTracePath is not supported in rack mode");
+
+    SweepOptions shared;
+    const SweepOptions &effOpts = withPreloadedTrace(opts, shared);
+
+    std::vector<RackStats> results(cells.size());
+    if (cellSeconds)
+        cellSeconds->assign(cells.size(), 0.0);
+
+    runCellPool(
+        cells.size(), opts.jobs,
+        [&](std::size_t i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            results[i] = runRackSweepCell(cells[i], effOpts);
+            if (cellSeconds) {
+                (*cellSeconds)[i] =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            }
+        },
+        [&](std::size_t i, std::size_t d) {
+            if (progress)
+                progress(results[i], d, cells.size());
+        });
     return results;
 }
 

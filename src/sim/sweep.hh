@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/rack.hh"
 #include "sim/system.hh"
 
 namespace toleo {
@@ -49,6 +50,14 @@ struct SweepOptions
     std::shared_ptr<const TraceFile> trace;
     /** Record the (single) cell's generator streams to this file. */
     std::string recordTracePath;
+    /**
+     * Rack mode (runRackSweep): simulate each cell as this many
+     * compute nodes sharing one Toleo device (node i seeds with
+     * seed + i).  1 = the classic single-node cell.
+     */
+    unsigned rackNodes = 1;
+    /** Shared-device service bandwidth, GB/s; 0 = auto (rack.hh). */
+    double rackServiceGBps = 0.0;
 };
 
 /** Build and run the System for one cell. */
@@ -88,6 +97,27 @@ std::vector<SimStats> runSweep(const std::vector<SweepCell> &cells,
                                const SweepProgressFn &progress = {},
                                std::vector<double> *cellSeconds = nullptr,
                                const SweepCellFn &cellFn = {});
+
+/** Build and run one cell as an opts.rackNodes-node rack. */
+RackStats runRackSweepCell(const SweepCell &cell,
+                           const SweepOptions &opts);
+
+/** Per-cell completion callback of a rack sweep (locked, like
+ *  SweepProgressFn). */
+using RackSweepProgressFn = std::function<void(
+    const RackStats &stats, std::size_t done, std::size_t total)>;
+
+/**
+ * Rack-mode grid runner: every cell becomes an opts.rackNodes-node
+ * rack simulation (runRack).  Same worker-pool, ordering, and
+ * error-surfacing contract as runSweep; cells share a preloaded
+ * trace the same way.  Trace *recording* is rejected (every node
+ * would clobber one capture path).
+ */
+std::vector<RackStats> runRackSweep(
+    const std::vector<SweepCell> &cells, const SweepOptions &opts,
+    const RackSweepProgressFn &progress = {},
+    std::vector<double> *cellSeconds = nullptr);
 
 /**
  * Parse an engine name as printed by engineKindName().

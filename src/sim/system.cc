@@ -47,8 +47,16 @@ System::System(const SystemConfig &cfg)
         engine_ = std::make_unique<CiEngine>(topo_, cfg.ci);
         break;
       case EngineKind::Toleo: {
-        device_ = std::make_unique<ToleoDevice>(cfg.device);
-        auto eng = std::make_unique<ToleoEngine>(topo_, *device_,
+        // Rack mode borrows one device shared across nodes; the
+        // single-node path owns a private one.  Either way the
+        // engine and the stats collection go through devp_.
+        if (cfg.sharedDevice) {
+            devp_ = cfg.sharedDevice;
+        } else {
+            device_ = std::make_unique<ToleoDevice>(cfg.device);
+            devp_ = device_.get();
+        }
+        auto eng = std::make_unique<ToleoEngine>(topo_, *devp_,
                                                  cfg.toleo);
         toleoEngine_ = eng.get();
         engine_ = std::move(eng);
@@ -239,89 +247,125 @@ System::resetMeasurement()
     std::fill(coreStallNs_.begin(), coreStallNs_.end(), 0.0);
 }
 
-SimStats
-System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
+void
+System::epochBoundary()
 {
-    std::uint64_t global_refs = 0;
-    std::uint64_t epoch_mark = 0;
-    double last_epoch_ns = 0.0;
+    double delta = maxCoreTimeNs() - runLastEpochNs_;
+    if (delta <= 0.0)
+        delta = 1.0;
+    if (invisimem_)
+        invisimem_->padEpoch(delta);
+    // Throughput floor: if any channel needs longer than the
+    // cores' latency-derived time to drain this epoch's traffic,
+    // the whole node is bandwidth-bound and time stretches.
+    const double required = topo_.requiredEpochNs();
+    if (required > delta) {
+        const double deficit = required - delta;
+        for (auto &stall : coreStallNs_)
+            stall += deficit;
+        delta = required;
+    }
+    // Record the epoch observables the rack arbiter consumes before
+    // endEpoch() zeroes the per-epoch channel accumulators.  The
+    // bandwidth floor above guarantees epochToleoBytes_ <=
+    // linkGBps * delta, which is what lets an uncontended shared
+    // device always keep up (see runRack()).
+    epochToleoBytes_ = topo_.toleoLink().pendingBytes();
+    topo_.endEpoch(delta);
+    epochWallNs_ = delta;
+    ++epochsCompleted_;
+    runLastEpochNs_ = maxCoreTimeNs();
+}
 
-    auto epoch_boundary = [&] {
-        double delta = maxCoreTimeNs() - last_epoch_ns;
-        if (delta <= 0.0)
-            delta = 1.0;
-        if (invisimem_)
-            invisimem_->padEpoch(delta);
-        // Throughput floor: if any channel needs longer than the
-        // cores' latency-derived time to drain this epoch's traffic,
-        // the whole node is bandwidth-bound and time stretches.
-        const double required = topo_.requiredEpochNs();
-        if (required > delta) {
-            const double deficit = required - delta;
-            for (auto &stall : coreStallNs_)
-                stall += deficit;
-            delta = required;
+// Rounds (one reference per core) until the next epoch boundary
+// fires.  Every round adds numCores references, so the per-round
+// epoch re-check of the old loop reduces to a ceiling division,
+// letting stepRounds() run a check-free inner loop.
+std::uint64_t
+System::roundsToEpoch() const
+{
+    const std::uint64_t since = runGlobalRefs_ - runEpochMark_;
+    const std::uint64_t remaining =
+        cfg_.epochRefs > since ? cfg_.epochRefs - since : 0;
+    return remaining == 0
+               ? 1
+               : (remaining + cfg_.numCores - 1) / cfg_.numCores;
+}
+
+void
+System::beginRun(std::uint64_t warmup_refs, std::uint64_t measure_refs)
+{
+    runWarmupRefs_ = warmup_refs;
+    runMeasureRefs_ = measure_refs;
+    runGlobalRefs_ = 0;
+    runEpochMark_ = 0;
+    runLastEpochNs_ = 0.0;
+    runPhaseRefs_ = 0;
+    runSampleEvery_ = std::max<std::uint64_t>(
+        1, measure_refs / cfg_.timelinePoints);
+    runMeasuring_ = false;
+    runActive_ = true;
+    runStats_ = SimStats{};
+    epochToleoBytes_ = 0;
+    epochWallNs_ = 0.0;
+    epochsCompleted_ = 0;
+}
+
+bool
+System::stepEpoch()
+{
+    if (!runActive_)
+        return false;
+
+    // Warmup: fill caches and version state, then reset stats.  The
+    // phase transition is not an epoch boundary; when warmup ends
+    // mid-epoch, measurement continues the same epoch.
+    while (!runMeasuring_) {
+        if (runPhaseRefs_ >= runWarmupRefs_) {
+            resetMeasurement();
+            runLastEpochNs_ = 0.0;
+            runMeasuring_ = true;
+            runPhaseRefs_ = 0;
+            break;
         }
-        topo_.endEpoch(delta);
-        last_epoch_ns = maxCoreTimeNs();
-    };
-
-    // Rounds (one reference per core) until the next epoch boundary
-    // fires.  Every round adds numCores references, so the per-round
-    // epoch re-check of the old loop reduces to a ceiling division,
-    // letting stepRounds() run a check-free inner loop.
-    auto rounds_to_epoch = [&]() -> std::uint64_t {
-        const std::uint64_t since = global_refs - epoch_mark;
-        const std::uint64_t remaining =
-            cfg_.epochRefs > since ? cfg_.epochRefs - since : 0;
-        return remaining == 0
-                   ? 1
-                   : (remaining + cfg_.numCores - 1) / cfg_.numCores;
-    };
-
-    // Warmup: fill caches and version state, then reset stats.
-    std::uint64_t r = 0;
-    while (r < warmup_refs) {
-        const std::uint64_t chunk =
-            std::min(warmup_refs - r, rounds_to_epoch());
+        const std::uint64_t chunk = std::min(
+            runWarmupRefs_ - runPhaseRefs_, roundsToEpoch());
         stepRounds(chunk);
-        global_refs += chunk * cfg_.numCores;
-        r += chunk;
-        if (global_refs - epoch_mark >= cfg_.epochRefs) {
-            epoch_boundary();
-            epoch_mark = global_refs;
+        runGlobalRefs_ += chunk * cfg_.numCores;
+        runPhaseRefs_ += chunk;
+        if (runGlobalRefs_ - runEpochMark_ >= cfg_.epochRefs) {
+            epochBoundary();
+            runEpochMark_ = runGlobalRefs_;
+            return true;
         }
     }
-    resetMeasurement();
-    last_epoch_ns = 0.0;
 
     // Measurement phase: batches run until the earlier of the next
     // epoch boundary and the next timeline-sample round, so neither
     // condition is tested inside the per-reference loop.
-    SimStats out;
-    const std::uint64_t sample_every =
-        std::max<std::uint64_t>(1, measure_refs / cfg_.timelinePoints);
-    r = 0;
-    while (r < measure_refs) {
-        std::uint64_t chunk =
-            std::min(measure_refs - r, rounds_to_epoch());
+    while (runPhaseRefs_ < runMeasureRefs_) {
+        std::uint64_t chunk = std::min(
+            runMeasureRefs_ - runPhaseRefs_, roundsToEpoch());
         bool sample_due = false;
-        if (device_) {
+        if (devp_) {
             // Next round index ending in a timeline sample.
             const std::uint64_t next_sample =
-                (r + sample_every - 1) / sample_every * sample_every;
-            if (next_sample < measure_refs &&
-                next_sample - r + 1 <= chunk) {
-                chunk = next_sample - r + 1;
+                (runPhaseRefs_ + runSampleEvery_ - 1) /
+                runSampleEvery_ * runSampleEvery_;
+            if (next_sample < runMeasureRefs_ &&
+                next_sample - runPhaseRefs_ + 1 <= chunk) {
+                chunk = next_sample - runPhaseRefs_ + 1;
                 sample_due = true;
             }
         }
         stepRounds(chunk);
-        global_refs += chunk * cfg_.numCores;
-        r += chunk;
-        if (global_refs - epoch_mark >= cfg_.epochRefs) {
-            epoch_boundary();
-            epoch_mark = global_refs;
+        runGlobalRefs_ += chunk * cfg_.numCores;
+        runPhaseRefs_ += chunk;
+        bool fired = false;
+        if (runGlobalRefs_ - runEpochMark_ >= cfg_.epochRefs) {
+            epochBoundary();
+            runEpochMark_ = runGlobalRefs_;
+            fired = true;
         }
         if (sample_due) {
             std::uint64_t insts = 0;
@@ -331,18 +375,51 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
             // (the touched footprint) + dynamic entries (Fig 12).
             const std::uint64_t usage =
                 footprint_.size() * flatEntryBytes +
-                device_->store().dynamicBytes();
-            out.usageTimeline.emplace_back(insts, usage);
+                devp_->store().dynamicBytes();
+            runStats_.usageTimeline.emplace_back(insts, usage);
         }
+        if (fired)
+            return true;
     }
-    epoch_boundary();
 
+    // Window exhausted: close the final (possibly partial) epoch --
+    // the same unconditional boundary the monolithic run() ended
+    // with -- and report completion.
+    epochBoundary();
+    runActive_ = false;
+    return false;
+}
+
+SimStats
+System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
+{
+    beginRun(warmup_refs, measure_refs);
+    while (stepEpoch()) {
+    }
+    return finishRun();
+}
+
+void
+System::addRackStallNs(double ns)
+{
+    // Strict no-op for ns <= 0 so an uncontended rack node stays
+    // bit-identical to a standalone run.
+    if (ns <= 0.0)
+        return;
+    for (auto &stall : coreStallNs_)
+        stall += ns;
+}
+
+SimStats
+System::finishRun()
+{
     // Collect the report.
+    SimStats out = std::move(runStats_);
     out.workload = cfg_.workload;
     out.engine = engine_->name();
     for (unsigned c = 0; c < cfg_.numCores; ++c)
         out.instructions += coreInsts_[c];
-    out.refs = measure_refs * cfg_.numCores;
+    out.refs = runMeasureRefs_ * cfg_.numCores;
     out.llcMisses = hierarchy_.llcMisses();
     out.llcWritebacks = writebacks_;
     out.execSeconds = maxCoreTimeNs() * 1e-9;
@@ -371,12 +448,15 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
             ? static_cast<double>(invisimem_->dummyBytes()) / insts
             : 0.0;
 
-    if (device_) {
+    if (devp_) {
         // Page classification over the *RSS*: read-only and resident-
         // but-cold pages never leave flat (their statically mapped
         // entry), exactly as the paper derives flat usage from the
-        // OS-reported RSS (Section 7.2).
-        const auto b = device_->store().breakdown();
+        // OS-reported RSS (Section 7.2).  With a shared rack device
+        // the store-side counts aggregate every node (one version
+        // store really does hold the whole rack); per-node splits
+        // live in RackStats.
+        const auto b = devp_->store().breakdown();
         const std::uint64_t fp = std::max<std::uint64_t>(
             footprint_.size(),
             winfo_.simFootprintBytes / pageSize * cfg_.numCores);
@@ -387,7 +467,7 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
                             : 0;
 
         const std::uint64_t usage =
-            fp * flatEntryBytes + device_->store().dynamicBytes();
+            fp * flatEntryBytes + devp_->store().dynamicBytes();
         out.toleoPeakUsageBytes = usage;
 
         const double pages_per_tb = 1e12 / pageSize;
@@ -405,9 +485,9 @@ System::run(std::uint64_t warmup_refs, std::uint64_t measure_refs)
         out.avgEntryBytesPerPage =
             fp > 0 ? static_cast<double>(usage) / fp
                    : static_cast<double>(flatEntryBytes);
-        out.toleoResets = device_->store().resets();
-        out.toleoUpgrades = device_->store().upgradesToUneven() +
-                            device_->store().upgradesToFull();
+        out.toleoResets = devp_->store().resets();
+        out.toleoUpgrades = devp_->store().upgradesToUneven() +
+                            devp_->store().upgradesToFull();
     }
 
     // Flush the capture (warmup + measurement) so a replay of the

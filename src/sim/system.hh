@@ -73,6 +73,14 @@ struct SystemConfig
     InvisiMemConfig invisimem;
     MerkleConfig merkle;
     std::uint64_t seed = 42;
+    /**
+     * Borrowed Toleo device shared with other Systems (rack mode,
+     * see sim/rack.hh); when null a Toleo-engine System owns a
+     * private device built from @ref device.  The rack driver is
+     * responsible for selecting the device's active initiator before
+     * stepping this node.
+     */
+    ToleoDevice *sharedDevice = nullptr;
     /** Global references per traffic epoch. */
     std::uint64_t epochRefs = 16384;
     /** Timeline samples to keep (Figure 12). */
@@ -231,15 +239,60 @@ class System
      */
     SimStats run(std::uint64_t warmup_refs, std::uint64_t measure_refs);
 
+    /**
+     * Epoch-steppable run API: run() is exactly
+     *
+     *   beginRun(w, m); while (stepEpoch()) {} return finishRun();
+     *
+     * and a driver may interleave several Systems by calling their
+     * stepEpoch()s round-robin (see sim/rack.hh, which arbitrates
+     * the shared Toleo device at each epoch barrier).  The
+     * decomposition performs the identical operation sequence to the
+     * historical monolithic run(), so fixed-seed statsToJson output
+     * is bit-identical either way (pinned by tests/test_rack.cc).
+     */
+    void beginRun(std::uint64_t warmup_refs,
+                  std::uint64_t measure_refs);
+    /**
+     * Advance until the next traffic-epoch boundary has been closed
+     * (or the measurement window is exhausted, which closes the
+     * final boundary).  @return true while more work remains.
+     */
+    bool stepEpoch();
+    /** Collect the report; call once after stepEpoch() returns false. */
+    SimStats finishRun();
+
+    /**
+     * External stall injection (rack mode): charge every core @p ns
+     * of stall, modelling backpressure from a contended shared
+     * device.  A non-positive @p ns is a strict no-op, so an
+     * uncontended node's timing is bit-identical to a standalone
+     * run.
+     */
+    void addRackStallNs(double ns);
+
+    /** Toleo IDE-link bytes of the most recently closed epoch. */
+    std::uint64_t lastEpochToleoBytes() const
+    {
+        return epochToleoBytes_;
+    }
+    /** Wall-clock length (ns) of the most recently closed epoch. */
+    double lastEpochWallNs() const { return epochWallNs_; }
+    /** Traffic epochs closed since beginRun(). */
+    std::uint64_t epochsCompleted() const { return epochsCompleted_; }
+    /** True once warmup finished and measurement began. */
+    bool measuring() const { return runMeasuring_; }
+
     const SystemConfig &config() const { return cfg_; }
     ProtectionEngine &engine() { return *engine_; }
-    ToleoDevice *device() { return device_.get(); }
+    ToleoDevice *device() { return devp_; }
 
   private:
     SystemConfig cfg_;
     MemTopology topo_;
     CacheHierarchy hierarchy_;
-    std::unique_ptr<ToleoDevice> device_;
+    std::unique_ptr<ToleoDevice> device_; ///< owned (single-node)
+    ToleoDevice *devp_ = nullptr; ///< owned or cfg_.sharedDevice
     std::unique_ptr<ProtectionEngine> engine_;
     InvisiMemEngine *invisimem_ = nullptr; ///< borrowed, epoch hook
     ToleoEngine *toleoEngine_ = nullptr;   ///< borrowed, stats
@@ -282,6 +335,24 @@ class System
     /** Rounds of references buffered per core in one sub-batch. */
     static constexpr std::uint64_t batchRounds = 256;
 
+    /** State of the in-flight epoch-steppable run (see beginRun). */
+    std::uint64_t runWarmupRefs_ = 0;
+    std::uint64_t runMeasureRefs_ = 0;
+    std::uint64_t runGlobalRefs_ = 0;
+    std::uint64_t runEpochMark_ = 0;
+    double runLastEpochNs_ = 0.0;
+    /** Rounds completed within the current phase (warmup/measure). */
+    std::uint64_t runPhaseRefs_ = 0;
+    std::uint64_t runSampleEvery_ = 1;
+    bool runMeasuring_ = false;
+    bool runActive_ = false;
+    SimStats runStats_;
+
+    /** Per-epoch observables for the rack arbiter. */
+    std::uint64_t epochToleoBytes_ = 0;
+    double epochWallNs_ = 0.0;
+    std::uint64_t epochsCompleted_ = 0;
+
     /** Shared-state part of one reference: L3, memory, engine. */
     void stepShared(unsigned core, const MemRef &ref,
                     const PrivateAccessResult &priv);
@@ -299,6 +370,10 @@ class System
     double coreTimeNs(unsigned core) const;
     double maxCoreTimeNs() const;
     void resetMeasurement();
+    /** Close the current traffic epoch (padding, bandwidth floor). */
+    void epochBoundary();
+    /** Rounds until the next epoch boundary is due. */
+    std::uint64_t roundsToEpoch() const;
 };
 
 /** Pretty-print the Table 3 configuration. */

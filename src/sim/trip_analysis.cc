@@ -1,6 +1,7 @@
 #include "sim/trip_analysis.hh"
 
 #include <memory>
+#include <sstream>
 #include <unordered_set>
 
 #include "cache/set_assoc.hh"
@@ -100,6 +101,35 @@ runTripAnalysis(const TripAnalysisConfig &cfg)
         res.avgEntryBytesPerPage = flatEntryBytes;
     }
     return res;
+}
+
+std::string
+TripProfileCache::keyOf(const TripAnalysisConfig &cfg)
+{
+    // Every field that feeds the analysis; a new config knob must be
+    // added here or equal-key configs could alias (the unit test
+    // exercises each existing field).
+    std::ostringstream key;
+    key << cfg.workload << '|' << cfg.cores << '|' << cfg.seed << '|'
+        << cfg.cacheBytes << '|' << cfg.cacheAssoc << '|'
+        << cfg.refsPerCore << '|' << cfg.timelinePoints << '|'
+        << cfg.trip.stealthBits << '|' << cfg.trip.uvBits << '|'
+        << cfg.trip.resetLog2 << '|' << cfg.trip.offsetBits << '|'
+        << cfg.trip.seed;
+    return key.str();
+}
+
+const TripAnalysisResult &
+TripProfileCache::get(const TripAnalysisConfig &cfg)
+{
+    const std::string key = keyOf(cfg);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    return cache_.emplace(key, runTripAnalysis(cfg)).first->second;
 }
 
 } // namespace toleo

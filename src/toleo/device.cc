@@ -19,18 +19,56 @@ ToleoDevice::ToleoDevice(const ToleoDeviceConfig &cfg)
               static_cast<unsigned long long>(cfg.protectedBytes));
 }
 
+unsigned
+ToleoDevice::addInitiator()
+{
+    initiators_.emplace_back();
+    return static_cast<unsigned>(initiators_.size() - 1);
+}
+
+void
+ToleoDevice::setActiveInitiator(unsigned id)
+{
+    if (id >= initiators_.size())
+        fatal("ToleoDevice: initiator %u not registered (have %zu)",
+              id, initiators_.size());
+    active_ = id;
+    activePageOff_ = id * initiatorPageStride;
+    activeBlockOff_ = activePageOff_ * blocksPerPage;
+}
+
+void
+ToleoDevice::beginInitiatorEpoch()
+{
+    for (Initiator &ini : initiators_)
+        ini.epochReqs = 0;
+}
+
+void
+ToleoDevice::rangePanic(PageNum page) const
+{
+    fatal("ToleoDevice: page 0x%llx of initiator %u overruns the "
+          "per-initiator page stride (2^40) and would alias the "
+          "next node's slice",
+          static_cast<unsigned long long>(page), active_);
+}
+
 std::uint64_t
 ToleoDevice::read(BlockNum blk)
 {
     ++readReqsCtr_;
-    return store_.stealth(blk);
+    noteRequest();
+    checkInitiatorRange(pageOfBlock(blk));
+    return store_.stealth(blk + activeBlockOff_);
 }
 
 TripUpdateResult
 ToleoDevice::update(BlockNum blk)
 {
     ++updateReqsCtr_;
-    auto res = store_.update(blk);
+    noteRequest();
+    checkInitiatorRange(pageOfBlock(blk));
+    auto res = store_.update(blk + activeBlockOff_);
     if (res.reset)
         ++uvUpdatesCtr_;
     if (res.upgraded) {
@@ -46,19 +84,21 @@ void
 ToleoDevice::reset(PageNum page)
 {
     ++resetReqsCtr_;
-    store_.freePage(page);
+    noteRequest();
+    checkInitiatorRange(page);
+    store_.freePage(page + activePageOff_);
 }
 
 std::uint64_t
 ToleoDevice::fullVersion(BlockNum blk) const
 {
-    return store_.fullVersion(blk);
+    return store_.fullVersion(blk + activeBlockOff_);
 }
 
 TripFormat
 ToleoDevice::formatOf(PageNum page) const
 {
-    return store_.formatOf(page);
+    return store_.formatOf(page + activePageOff_);
 }
 
 std::uint64_t

@@ -25,6 +25,7 @@
 #define TOLEO_TOLEO_DEVICE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -95,9 +96,53 @@ class ToleoDevice
     };
     UsagePerTb usagePerTbProtected() const;
 
+    /**
+     * Multi-initiator support (rack mode, Figure 1): one device
+     * serves several compute nodes over per-node IDE links.  Each
+     * node is an *initiator*; the device partitions its page-number
+     * space with a fixed per-initiator stride so nodes' version
+     * state never collides (each node protects its own slice of the
+     * rack's pooled memory), and attributes request counts to the
+     * active initiator so the rack arbiter can bill contention.
+     *
+     * The rack driver steps nodes strictly round-robin, so a single
+     * setActiveInitiator() call per node step replaces any
+     * per-request initiator plumbing.  Initiator 0 always exists
+     * with a zero offset: a device that never sees addInitiator() /
+     * setActiveInitiator() behaves (and performs) exactly as before.
+     */
+    static constexpr std::uint64_t initiatorPageStride =
+        std::uint64_t{1} << 40;
+
+    /** Register one more initiator; returns its id (1, 2, ...). */
+    unsigned addInitiator();
+    /** Route subsequent requests (and their stats) to @p id. */
+    void setActiveInitiator(unsigned id);
+    unsigned activeInitiator() const { return active_; }
+    unsigned initiatorCount() const
+    {
+        return static_cast<unsigned>(initiators_.size());
+    }
+    /** READ+UPDATE+RESET requests by @p id since the epoch opened. */
+    std::uint64_t epochRequests(unsigned id) const
+    {
+        return initiators_[id].epochReqs;
+    }
+    /** READ+UPDATE+RESET requests by @p id over the device lifetime. */
+    std::uint64_t totalRequests(unsigned id) const
+    {
+        return initiators_[id].totalReqs;
+    }
+    /** Open a new arbitration epoch: zero per-initiator counts. */
+    void beginInitiatorEpoch();
+
     TripStore &store() { return store_; }
     const TripStore &store() const { return store_; }
     StatGroup &stats() { return stats_; }
+    std::uint64_t spaceRejections() const
+    {
+        return spaceRejectionsCtr_.value();
+    }
     const ToleoDeviceConfig &config() const { return cfg_; }
 
   private:
@@ -114,6 +159,41 @@ class ToleoDevice
     Counter &resetReqsCtr_;
 
     std::uint64_t peakUsage_ = 0;
+
+    struct Initiator
+    {
+        std::uint64_t epochReqs = 0;
+        std::uint64_t totalReqs = 0;
+    };
+
+    /**
+     * With several initiators, a page number at or past the stride
+     * would silently alias the next initiator's slice (e.g. a
+     * converted trace carrying kernel-space addresses); reject it.
+     * A single-initiator device has no neighbour to collide with,
+     * so the classic path stays unrestricted.
+     */
+    void
+    checkInitiatorRange(PageNum page) const
+    {
+        if (initiators_.size() > 1 && page >= initiatorPageStride)
+            rangePanic(page);
+    }
+    [[noreturn]] void rangePanic(PageNum page) const;
+    /** Initiator 0 (the classic single-node owner) always exists. */
+    std::vector<Initiator> initiators_{1};
+    unsigned active_ = 0;
+    /** Cached offsets of the active initiator (hot request path). */
+    std::uint64_t activePageOff_ = 0;
+    std::uint64_t activeBlockOff_ = 0;
+
+    void
+    noteRequest()
+    {
+        Initiator &ini = initiators_[active_];
+        ++ini.epochReqs;
+        ++ini.totalReqs;
+    }
 
     void notePeak();
 };

@@ -1,5 +1,9 @@
 #include "toleo/ide_channel.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+
 namespace toleo {
 
 namespace {
@@ -72,6 +76,78 @@ IdeStream::receive(const IdeFlit &flit)
     if (poisoned_)
         return std::nullopt;
     return payload;
+}
+
+IdeLinkArbiter::IdeLinkArbiter(unsigned ports) : ports_(ports)
+{
+    if (ports == 0)
+        fatal("IdeLinkArbiter needs at least one port");
+}
+
+void
+IdeLinkArbiter::enqueue(unsigned port, std::uint64_t bytes)
+{
+    ports_[port].pending += bytes;
+}
+
+std::uint64_t
+IdeLinkArbiter::totalPendingBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Port &p : ports_)
+        total += p.pending;
+    return total;
+}
+
+std::uint64_t
+IdeLinkArbiter::serveEpoch(std::uint64_t capacityBytes)
+{
+    for (Port &p : ports_)
+        p.grantedLast = 0;
+
+    std::uint64_t remaining = capacityBytes;
+
+    // Water-filling: hand every backlogged port an equal share;
+    // ports whose queue is shorter than the share empty out and
+    // their surplus is redistributed on the next pass.  Each pass
+    // either empties at least one port or leaves a remainder smaller
+    // than the active-port count, so the loop terminates.
+    for (;;) {
+        unsigned active = 0;
+        for (const Port &p : ports_)
+            active += p.pending > 0;
+        if (active == 0 || remaining == 0)
+            break;
+        const std::uint64_t share = remaining / active;
+        if (share == 0)
+            break;
+        for (Port &p : ports_) {
+            if (p.pending == 0)
+                continue;
+            const std::uint64_t g = std::min(p.pending, share);
+            p.pending -= g;
+            p.grantedLast += g;
+            remaining -= g;
+        }
+    }
+
+    // Sub-share remainder (fewer bytes left than backlogged ports):
+    // one byte per port in rotating order.
+    const unsigned n = ports();
+    for (unsigned k = 0; k < n && remaining > 0; ++k) {
+        Port &p = ports_[(rrStart_ + k) % n];
+        if (p.pending == 0)
+            continue;
+        --p.pending;
+        ++p.grantedLast;
+        --remaining;
+    }
+    rrStart_ = (rrStart_ + 1) % n;
+
+    const std::uint64_t granted = capacityBytes - remaining;
+    totalGranted_ += granted;
+    peakBacklog_ = std::max(peakBacklog_, totalPendingBytes());
+    return granted;
 }
 
 } // namespace toleo

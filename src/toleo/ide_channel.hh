@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "crypto/modes.hh"
 
@@ -84,6 +85,75 @@ class IdeStream
     bool poisoned_ = false;
     /** Deferred verification queue (skid mode). */
     std::deque<bool> pending_;
+};
+
+/**
+ * Deterministic multi-initiator arbiter for the device-side IDE
+ * front end (rack mode, sim/rack.hh).
+ *
+ * N compute nodes each talk to the shared Toleo device over their
+ * own IDE link; the device's version-store service capacity is what
+ * they contend for.  Each epoch the rack driver enqueues every
+ * node's link traffic on its port and calls serveEpoch() with the
+ * bytes the device can service in that epoch.  Capacity is divided
+ * max-min fairly: every backlogged port gets an equal share, ports
+ * needing less donate their surplus, and the sub-port remainder goes
+ * to ports in rotating round-robin order so no port is
+ * systematically favoured.  Unserved bytes stay queued and carry
+ * into the next epoch -- that backlog is the queueing the rack's
+ * contention stats report.
+ *
+ * Byte-granular and integer-only, so arbitration is exactly
+ * reproducible across runs and platforms (the golden rack stats
+ * depend on it).
+ */
+class IdeLinkArbiter
+{
+  public:
+    explicit IdeLinkArbiter(unsigned ports);
+
+    /** Queue @p bytes of link traffic on @p port. */
+    void enqueue(unsigned port, std::uint64_t bytes);
+
+    /**
+     * Serve up to @p capacityBytes across the ports (max-min fair).
+     * @return Bytes actually granted (<= capacity and <= demand).
+     */
+    std::uint64_t serveEpoch(std::uint64_t capacityBytes);
+
+    /** Bytes still queued on @p port after the last serveEpoch(). */
+    std::uint64_t pendingBytes(unsigned port) const
+    {
+        return ports_[port].pending;
+    }
+    /** Bytes granted to @p port by the last serveEpoch(). */
+    std::uint64_t grantedLastEpoch(unsigned port) const
+    {
+        return ports_[port].grantedLast;
+    }
+    /** Total queued bytes across every port. */
+    std::uint64_t totalPendingBytes() const;
+    /** Bytes granted over the arbiter lifetime. */
+    std::uint64_t totalGrantedBytes() const { return totalGranted_; }
+    /** High-water mark of total backlog left after a serveEpoch(). */
+    std::uint64_t peakBacklogBytes() const { return peakBacklog_; }
+    unsigned ports() const
+    {
+        return static_cast<unsigned>(ports_.size());
+    }
+
+  private:
+    struct Port
+    {
+        std::uint64_t pending = 0;
+        std::uint64_t grantedLast = 0;
+    };
+
+    std::vector<Port> ports_;
+    /** Rotating start port for remainder grants. */
+    unsigned rrStart_ = 0;
+    std::uint64_t totalGranted_ = 0;
+    std::uint64_t peakBacklog_ = 0;
 };
 
 } // namespace toleo

@@ -18,6 +18,20 @@ constexpr std::uint32_t traceVersion = 1;
 constexpr std::size_t headerBytes = 64;
 constexpr std::size_t tableEntryBytes = 24;
 constexpr std::size_t workloadFieldBytes = 32;
+constexpr std::size_t checksumOffset = 56;
+
+constexpr std::uint64_t fnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+    return h;
+}
 
 void
 putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
@@ -171,7 +185,7 @@ TraceWriter::writeTo(const std::string &path) const
     char name[workloadFieldBytes] = {};
     std::strncpy(name, workload_.c_str(), workloadFieldBytes - 1);
     head.insert(head.end(), name, name + workloadFieldBytes);
-    putU64(head, 0); // reserved
+    putU64(head, 0); // checksum placeholder, patched below
 
     std::uint64_t offset =
         headerBytes + streams_.size() * tableEntryBytes;
@@ -181,6 +195,16 @@ TraceWriter::writeTo(const std::string &path) const
         putU64(head, s.count);
         offset += s.bytes.size();
     }
+
+    // Whole-file checksum with the checksum field zeroed (it still
+    // is at this point), patched into the header before writing.
+    std::uint64_t sum = fnv1a(fnvOffsetBasis, head.data(),
+                              head.size());
+    for (const Stream &s : streams_)
+        sum = fnv1a(sum, s.bytes.data(), s.bytes.size());
+    for (int i = 0; i < 8; ++i)
+        head[checksumOffset + i] =
+            static_cast<std::uint8_t>(sum >> (8 * i));
 
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -255,6 +279,24 @@ TraceFile::open(const std::string &path)
     const std::uint32_t nstreams = getU32(d + 12);
     if (nstreams == 0)
         throw TraceError("'" + path + "': trace has zero streams");
+
+    // Whole-file integrity: hash with the checksum field treated as
+    // zero, so a corruption of *any* byte -- including the checksum
+    // itself -- mismatches.  A stored zero marks an unchecksummed
+    // legacy capture and is loaded on structural validation alone.
+    const std::uint64_t stored = getU64(d + checksumOffset);
+    if (stored != 0) {
+        std::uint64_t sum = fnv1a(fnvOffsetBasis, d, checksumOffset);
+        const std::uint8_t zeros[8] = {};
+        sum = fnv1a(sum, zeros, 8);
+        sum = fnv1a(sum, d + checksumOffset + 8,
+                    size - checksumOffset - 8);
+        if (sum != stored)
+            throw TraceError("'" + path +
+                             "': checksum mismatch (corrupt or "
+                             "tampered trace file)");
+    }
+
     tf->seed_ = getU64(d + 16);
     const char *name = reinterpret_cast<const char *>(d + 24);
     tf->workload_.assign(name,

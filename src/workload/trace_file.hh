@@ -15,10 +15,20 @@
  *   12      4     u32 streamCount (>= 1; one stream per source core)
  *   16      8     u64 seed of the recorded run (informational)
  *   24      32    source workload name, NUL-padded
- *   56      8     u64 reserved (= 0)
+ *   56      8     u64 FNV-1a-64 checksum of the whole file with
+ *                 this field zeroed; 0 = unchecksummed legacy file
+ *                 (early captures), loaded without verification
  *   64      24*S  stream table: { u64 byteOffset, u64 byteLength,
  *                                 u64 recordCount } per stream
  *   ...           per-stream record payload
+ *
+ * The checksum is what makes corruption detection *complete*: the
+ * structural validation below catches truncations and inconsistent
+ * tables, but a flipped bit inside a varint payload can decode to a
+ * perfectly well-formed -- and silently wrong -- reference stream.
+ * With the checksum, any single-byte change anywhere in the file
+ * fails the load (property-tested against the committed fixture in
+ * tests/test_trace.cc).
  *
  * Each record is two LEB128 varints: the zigzag-encoded delta from
  * the previous address in the stream (first record: delta from 0),

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/rack.hh"
 #include "sim/sweep.hh"
 #include "sim/system.hh"
 
@@ -121,6 +122,81 @@ TEST(SweepErrors, FirstErrorWinsAndStopsDispatch)
     } catch (const std::runtime_error &e) {
         EXPECT_STREQ(e.what(), "cell 0 failed");
     }
+}
+
+namespace {
+
+/**
+ * A rack grid covering a contended Toleo cell (memcached runs its
+ * device link near saturation, so the arbiter really queues) and a
+ * no-device engine, at 3 nodes so the round-robin order matters.
+ */
+std::vector<SweepCell>
+rackGrid()
+{
+    return makeSweepGrid({"memcached", "bsw"},
+                         {EngineKind::Toleo, EngineKind::NoProtect});
+}
+
+SweepOptions
+rackWindow(unsigned jobs)
+{
+    SweepOptions opts;
+    opts.cores = 2;
+    opts.warmupRefs = 2000;
+    opts.measureRefs = 6000;
+    opts.jobs = jobs;
+    opts.rackNodes = 3;
+    return opts;
+}
+
+std::vector<std::string>
+dumpAllRacks(const std::vector<RackStats> &results)
+{
+    std::vector<std::string> dumps;
+    dumps.reserve(results.size());
+    for (const auto &stats : results)
+        dumps.push_back(rackStatsToJson(stats).dump(2));
+    return dumps;
+}
+
+} // namespace
+
+TEST(RackDeterminism, SameSeedSameBytesAcrossRuns)
+{
+    const auto cells = rackGrid();
+    const auto a = dumpAllRacks(runRackSweep(cells, rackWindow(1)));
+    const auto b = dumpAllRacks(runRackSweep(cells, rackWindow(1)));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << cells[i].workload << "/"
+                              << engineKindName(cells[i].engine);
+}
+
+TEST(RackDeterminism, SameSeedSameBytesAcrossJobCounts)
+{
+    // Rack cells are self-contained (each builds its own shared
+    // device and arbiter), so worker-thread interleaving must be
+    // invisible just like in the single-node sweep.
+    const auto cells = rackGrid();
+    const auto serial = dumpAllRacks(runRackSweep(cells, rackWindow(1)));
+    const auto parallel =
+        dumpAllRacks(runRackSweep(cells, rackWindow(4)));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i])
+            << cells[i].workload << "/"
+            << engineKindName(cells[i].engine);
+}
+
+TEST(RackDeterminism, DifferentSeedsDiffer)
+{
+    SweepOptions a = rackWindow(1);
+    SweepOptions b = rackWindow(1);
+    b.seed = 43;
+    const SweepCell cell{"memcached", EngineKind::Toleo};
+    EXPECT_NE(rackStatsToJson(runRackSweepCell(cell, a)).dump(2),
+              rackStatsToJson(runRackSweepCell(cell, b)).dump(2));
 }
 
 TEST(SweepTiming, CellSecondsReported)

@@ -159,3 +159,60 @@ TEST(Device, StatCountersTrackRequests)
     EXPECT_EQ(dev.stats().counter("update_reqs").value(), 2u);
     EXPECT_EQ(dev.stats().counter("upgrades").value(), 1u);
 }
+
+TEST(DeviceInitiators, AddressSpacesArePartitioned)
+{
+    // Two rack nodes updating the "same" local block must land on
+    // disjoint shared-store entries.
+    ToleoDevice dev(smallConfig());
+    const unsigned other = dev.addInitiator();
+    ASSERT_EQ(other, 1u);
+    EXPECT_EQ(dev.initiatorCount(), 2u);
+
+    const BlockNum b = blk(5, 3);
+    dev.setActiveInitiator(0);
+    dev.update(b);
+    dev.update(b);
+    const std::uint64_t v0 = dev.fullVersion(b);
+
+    dev.setActiveInitiator(other);
+    // Initiator 1 never touched its slice: versions independent.
+    const std::uint64_t v1_before = dev.fullVersion(b);
+    dev.update(b);
+    const std::uint64_t v1_after = dev.fullVersion(b);
+    EXPECT_NE(v1_before, v1_after);
+
+    dev.setActiveInitiator(0);
+    EXPECT_EQ(dev.fullVersion(b), v0);
+
+    // Both slices landed as distinct pages in the one shared store.
+    EXPECT_EQ(dev.store().touchedPages(), 2u);
+}
+
+TEST(DeviceInitiators, EpochRequestAccounting)
+{
+    ToleoDevice dev(smallConfig());
+    dev.addInitiator();
+
+    dev.setActiveInitiator(0);
+    dev.update(blk(1, 0));
+    dev.read(blk(1, 0));
+    dev.setActiveInitiator(1);
+    dev.reset(7);
+
+    EXPECT_EQ(dev.epochRequests(0), 2u);
+    EXPECT_EQ(dev.epochRequests(1), 1u);
+
+    dev.beginInitiatorEpoch();
+    EXPECT_EQ(dev.epochRequests(0), 0u);
+    EXPECT_EQ(dev.epochRequests(1), 0u);
+    // Lifetime counts survive the epoch reset.
+    EXPECT_EQ(dev.totalRequests(0), 2u);
+    EXPECT_EQ(dev.totalRequests(1), 1u);
+
+    // The classic single-initiator device still counts as id 0.
+    ToleoDevice solo(smallConfig());
+    solo.update(blk(2, 0));
+    EXPECT_EQ(solo.totalRequests(0), 1u);
+    EXPECT_EQ(solo.activeInitiator(), 0u);
+}

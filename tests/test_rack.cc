@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Regression harness for the multi-node rack simulation
+ * (sim/rack.hh): the golden-stats fixture pinning a fixed-seed
+ * 4-node cell byte-for-byte, the 1-node bit-identity invariant
+ * against a plain System::run, the epoch-steppable run API, and the
+ * error paths that keep a rack config honest.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/rack.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+#include "workload/trace_file.hh"
+
+using namespace toleo;
+
+namespace {
+
+/**
+ * The pinned rack cell: memcached is the most version-traffic-bound
+ * workload (its Toleo link runs near saturation), so four nodes
+ * behind one device exercise real queueing, and the window is long
+ * enough for the stealth caches to reach eviction steady state.
+ */
+const SweepCell goldenCell{"memcached", EngineKind::Toleo};
+
+SweepOptions
+rackWindow(unsigned nodes)
+{
+    SweepOptions opts;
+    opts.cores = 4;
+    opts.warmupRefs = 20000;
+    opts.measureRefs = 40000;
+    opts.rackNodes = nodes;
+    return opts;
+}
+
+std::string
+dump(const SimStats &stats)
+{
+    return statsToJson(stats).dump(2);
+}
+
+} // namespace
+
+TEST(Rack, OneNodeRackIsBitIdenticalToSingleSystemRun)
+{
+    // The rack path reroutes everything through the shared device,
+    // the epoch-stepped loop, and the arbiter; with one node all of
+    // it must be an exact no-op.  Cover a version-heavy and a
+    // version-light workload plus a non-Toleo engine.
+    struct Case
+    {
+        const char *workload;
+        EngineKind engine;
+    };
+    for (const Case &c :
+         {Case{"bsw", EngineKind::Toleo},
+          Case{"memcached", EngineKind::Toleo},
+          Case{"redis", EngineKind::NoProtect}}) {
+        SystemConfig base = makeScaledConfig(c.workload, c.engine, 2);
+        base.seed = 42;
+        RackConfig rc = makeRackConfig(1, base);
+        rc.warmupRefs = 2000;
+        rc.measureRefs = 6000;
+        const RackStats rack = runRack(rc);
+
+        System solo(base);
+        const SimStats ref = solo.run(2000, 6000);
+
+        ASSERT_EQ(rack.nodes.size(), 1u);
+        EXPECT_EQ(dump(rack.nodes[0].sim), dump(ref))
+            << c.workload << "/" << engineKindName(c.engine);
+        EXPECT_EQ(rack.nodes[0].contentionStallNs, 0.0);
+        EXPECT_EQ(rack.nodes[0].peakBacklogBytes, 0u);
+        EXPECT_EQ(rack.saturatedEpochs, 0u);
+        EXPECT_EQ(rack.devicePeakBacklogBytes, 0u);
+    }
+}
+
+TEST(Rack, EpochSteppedLoopMatchesMonolithicRun)
+{
+    // The beginRun/stepEpoch/finishRun decomposition must perform
+    // the identical operation sequence to run().
+    SystemConfig cfg = makeScaledConfig("redis", EngineKind::Toleo, 2);
+    cfg.seed = 7;
+
+    System a(cfg);
+    const SimStats ra = a.run(1500, 4500);
+
+    System b(cfg);
+    b.beginRun(1500, 4500);
+    std::uint64_t steps = 0;
+    while (b.stepEpoch())
+        ++steps;
+    const SimStats rb = b.finishRun();
+
+    EXPECT_EQ(dump(ra), dump(rb));
+    // Every true return closed one boundary; the final (false)
+    // step closed the run-ending boundary on top.
+    EXPECT_EQ(b.epochsCompleted(), steps + 1);
+    EXPECT_TRUE(b.measuring());
+}
+
+TEST(Rack, FourNodeContentionIsVisibleAndCharged)
+{
+    const RackStats rack = runRackSweepCell(goldenCell, rackWindow(4));
+    ASSERT_EQ(rack.nodes.size(), 4u);
+
+    // The shared device saturates in some (not all) epochs...
+    EXPECT_GT(rack.saturatedEpochs, 0u);
+    EXPECT_LT(rack.saturatedEpochs, rack.epochs);
+    EXPECT_GT(rack.devicePeakBacklogBytes, 0u);
+
+    // ...and the queueing lands on the nodes as core stall.
+    double total_stall = 0.0;
+    for (const RackNodeStats &node : rack.nodes) {
+        EXPECT_GT(node.deviceRequests, 0u);
+        EXPECT_GT(node.toleoLinkBytes, 0u);
+        total_stall += node.contentionStallNs;
+    }
+    EXPECT_GT(total_stall, 0.0);
+
+    // Node 0 seeds identically to a lone run; contention can only
+    // slow it down, never speed it up.
+    const RackStats solo = runRackSweepCell(goldenCell, rackWindow(1));
+    EXPECT_EQ(solo.nodes[0].contentionStallNs, 0.0);
+    EXPECT_GE(rack.nodes[0].sim.execSeconds,
+              solo.nodes[0].sim.execSeconds);
+
+    // One store really holds the whole rack: four nodes' slices
+    // touch more pages than one node's.
+    EXPECT_GT(rack.sharedTouchedPages, solo.sharedTouchedPages);
+    EXPECT_GT(rack.deviceGrantedBytes, solo.deviceGrantedBytes);
+}
+
+TEST(Rack, InvalidConfigsThrow)
+{
+    EXPECT_THROW(runRack(RackConfig{}), std::invalid_argument);
+
+    // A device slower than a node's own link would stall even an
+    // uncontended node: reject instead of silently breaking the
+    // 1-node invariant.
+    SystemConfig base = makeScaledConfig("bsw", EngineKind::Toleo, 2);
+    RackConfig rc = makeRackConfig(2, base);
+    rc.deviceServiceGBps = 0.5 * base.mem.toleoLinkBandwidthGBps;
+    EXPECT_THROW(runRack(rc), std::invalid_argument);
+
+    const std::vector<SweepCell> cell = {
+        {"bsw", EngineKind::Toleo}};
+    SweepOptions opts = rackWindow(0);
+    EXPECT_THROW(runRackSweep(cell, opts), std::invalid_argument);
+
+    opts = rackWindow(2);
+    opts.recordTracePath = "unused.trc";
+    EXPECT_THROW(runRackSweep(cell, opts), TraceError);
+}
+
+#ifdef TOLEO_RACK_GOLDEN
+
+TEST(RackGolden, FourNodeFixedSeedStatsArePinned)
+{
+    // The full RackStats record of the fixed-seed 4-node cell,
+    // byte-for-byte.  Any drift in the hot loop, the arbiter, the
+    // shared store, or the serializers shows up here first.  After
+    // an *intended* change, regenerate with
+    //
+    //   TOLEO_UPDATE_GOLDEN=1 ./tests/test_rack
+    //       --gtest_filter=RackGolden.*
+    //
+    // and commit the refreshed tests/data/golden_rack4.json.
+    const RackStats stats =
+        runRackSweepCell(goldenCell, rackWindow(4));
+    const std::string got = rackStatsToJson(stats).dump(2) + "\n";
+
+    if (const char *update = std::getenv("TOLEO_UPDATE_GOLDEN");
+        update && *update) {
+        std::ofstream out(TOLEO_RACK_GOLDEN,
+                          std::ios::binary | std::ios::trunc);
+        out << got;
+        ASSERT_TRUE(out.good())
+            << "cannot write " << TOLEO_RACK_GOLDEN;
+    }
+
+    std::ifstream in(TOLEO_RACK_GOLDEN, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden fixture " << TOLEO_RACK_GOLDEN
+        << " (regenerate as described above)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "fixed-seed RackStats drifted from the committed golden";
+}
+
+#endif // TOLEO_RACK_GOLDEN

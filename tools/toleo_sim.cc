@@ -67,6 +67,13 @@ usage(const char *argv0)
         "  --measure N       measured references per core (default: 60000)\n"
         "  --jobs N          worker threads (default: hardware threads)\n"
         "  --seed N          simulation seed (default: 42)\n"
+        "  --rack N          simulate every cell as an N-node rack\n"
+        "                    sharing one Toleo device (node i seeds\n"
+        "                    with seed+i); emits one RackStats record\n"
+        "                    per cell with device-side contention\n"
+        "                    (JSON only; default: 1 = single node)\n"
+        "  --rack-service G  shared-device service bandwidth in GB/s\n"
+        "                    (default: 0 = auto, 1.5x the node link)\n"
         "  --format FMT      json or csv (default: json)\n"
         "  --out FILE        write results to FILE instead of stdout\n"
         "  --trace FILE      replay every cell's reference streams\n"
@@ -148,6 +155,19 @@ parseArgs(int argc, char **argv)
                 fatal("--jobs must be positive");
         } else if (!std::strcmp(arg, "--seed")) {
             opts.sweep.seed = parseUint(arg, nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--rack")) {
+            opts.sweep.rackNodes = static_cast<unsigned>(
+                parseUint(arg, nextArg(argc, argv, i)));
+            if (opts.sweep.rackNodes == 0)
+                fatal("--rack must be positive");
+        } else if (!std::strcmp(arg, "--rack-service")) {
+            const char *text = nextArg(argc, argv, i);
+            char *end = nullptr;
+            opts.sweep.rackServiceGBps = std::strtod(text, &end);
+            if (end == text || *end != '\0' ||
+                !(opts.sweep.rackServiceGBps >= 0.0))
+                fatal("--rack-service: expected a non-negative "
+                      "bandwidth in GB/s, got '%s'", text);
         } else if (!std::strcmp(arg, "--format")) {
             opts.format = nextArg(argc, argv, i);
             if (opts.format != "json" && opts.format != "csv")
@@ -201,6 +221,40 @@ emitJson(const CliOptions &opts, const std::vector<SweepCell> &cells,
     Json arr = Json::array();
     for (const auto &stats : results)
         arr.push_back(statsToJson(stats));
+    doc["results"] = std::move(arr);
+    doc["wallSeconds"] = wall_seconds;
+
+    doc.dump(os, 2);
+    os << "\n";
+}
+
+void
+emitRackJson(const CliOptions &opts,
+             const std::vector<SweepCell> &cells,
+             const std::vector<RackStats> &results,
+             double wall_seconds, std::ostream &os)
+{
+    Json doc = Json::object();
+    doc["tool"] = "toleo_sim";
+    doc["mode"] = "rack";
+
+    Json cfg = Json::object();
+    cfg["rackNodes"] = opts.sweep.rackNodes;
+    cfg["cores"] = opts.sweep.cores;
+    cfg["warmupRefs"] = opts.sweep.warmupRefs;
+    cfg["measureRefs"] = opts.sweep.measureRefs;
+    cfg["seed"] = opts.sweep.seed;
+    cfg["jobs"] = opts.sweep.jobs;
+    cfg["cells"] = static_cast<std::uint64_t>(cells.size());
+    doc["config"] = std::move(cfg);
+
+    Json arr = Json::array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        Json cell = rackStatsToJson(results[i]);
+        cell["workload"] = cells[i].workload;
+        cell["engine"] = engineKindName(cells[i].engine);
+        arr.push_back(std::move(cell));
+    }
     doc["results"] = std::move(arr);
     doc["wallSeconds"] = wall_seconds;
 
@@ -342,6 +396,19 @@ main(int argc, char **argv)
                   "bench mode");
     }
 
+    const bool rack = opts.sweep.rackNodes > 1;
+    if (rack) {
+        if (opts.bench)
+            fatal("--bench tracks the single-node grid; it is not "
+                  "supported with --rack");
+        if (!opts.sweep.recordTracePath.empty())
+            fatal("--record-trace is not supported with --rack "
+                  "(every node would clobber one capture)");
+        if (opts.format == "csv")
+            fatal("--rack emits nested RackStats records; "
+                  "--format csv is not supported in rack mode");
+    }
+
     const auto workloads = parseWorkloadList(opts.workloads);
     const auto engines = parseEngineList(opts.engines);
     const auto cells = makeSweepGrid(workloads, engines);
@@ -396,7 +463,8 @@ main(int argc, char **argv)
     }
 
     SweepProgressFn progress;
-    if (opts.progress) {
+    RackSweepProgressFn rackProgress;
+    if (opts.progress && !rack) {
         progress = [](const SimStats &stats, std::size_t done,
                       std::size_t total) {
             std::fprintf(stderr,
@@ -404,6 +472,26 @@ main(int argc, char **argv)
                          done, total, stats.workload.c_str(),
                          stats.engine.c_str(), stats.ipc,
                          stats.llcMpki);
+        };
+    } else if (opts.progress) {
+        rackProgress = [](const RackStats &stats, std::size_t done,
+                          std::size_t total) {
+            double stall_ms = 0.0;
+            for (const auto &node : stats.nodes)
+                stall_ms += node.contentionStallNs * 1e-6;
+            std::fprintf(stderr,
+                         "[%zu/%zu] %s/%s: %zu nodes, %llu/%llu "
+                         "epochs saturated, %.2f ms contention "
+                         "stall\n",
+                         done, total,
+                         stats.nodes[0].sim.workload.c_str(),
+                         stats.nodes[0].sim.engine.c_str(),
+                         stats.nodes.size(),
+                         static_cast<unsigned long long>(
+                             stats.saturatedEpochs),
+                         static_cast<unsigned long long>(
+                             stats.epochs),
+                         stall_ms);
         };
     }
 
@@ -421,9 +509,14 @@ main(int argc, char **argv)
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<double> cell_seconds;
     std::vector<SimStats> results;
+    std::vector<RackStats> rackResults;
     try {
-        results = runSweep(cells, opts.sweep, progress,
-                           opts.bench ? &cell_seconds : nullptr);
+        if (rack)
+            rackResults = runRackSweep(cells, opts.sweep,
+                                       rackProgress);
+        else
+            results = runSweep(cells, opts.sweep, progress,
+                               opts.bench ? &cell_seconds : nullptr);
     } catch (const std::exception &e) {
         fatal("sweep failed: %s", e.what());
     }
@@ -432,7 +525,9 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - t0)
             .count();
 
-    if (opts.bench)
+    if (rack)
+        emitRackJson(opts, cells, rackResults, wall_seconds, os);
+    else if (opts.bench)
         emitBench(opts, cells, results, cell_seconds, wall_seconds, os);
     else if (opts.format == "csv")
         emitCsv(results, os);
