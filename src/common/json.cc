@@ -30,6 +30,11 @@ Json::asUint() const
 {
     if (type_ != Type::Number || num_ < 0)
         panic("Json: asUint() on non-number or negative value");
+    // 0x1p64 is the first double NOT representable in uint64_t; a
+    // NaN num_ fails both comparisons above and this one, so it
+    // panics rather than reaching the cast as UB.
+    if (!(num_ < 0x1p64))
+        panic("Json: asUint() value %g out of uint64 range", num_);
     return static_cast<std::uint64_t>(num_);
 }
 

@@ -137,10 +137,15 @@ ZipfSampler::next()
         return 1;
     const double frac =
         std::pow(eta_ * u - eta_ + 1.0, alpha_);
-    auto idx = static_cast<std::uint64_t>(static_cast<double>(n_) * frac);
-    if (idx >= n_)
-        idx = n_ - 1;
-    return idx;
+    // Clamp BEFORE the conversion: float->unsigned is UB for values
+    // the target cannot represent, so an over-range or NaN frac
+    // (possible when eta_ makes pow's base negative) must never
+    // reach the cast.  For in-range draws the result is unchanged
+    // from the historical cast-then-clamp shape.
+    const double scaled = static_cast<double>(n_) * frac;
+    if (!std::isfinite(scaled) || scaled >= static_cast<double>(n_))
+        return n_ - 1;
+    return static_cast<std::uint64_t>(scaled);
 }
 
 } // namespace toleo

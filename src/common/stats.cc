@@ -35,8 +35,12 @@ Histogram::percentile(double p) const
 {
     if (total_ == 0)
         return 0.0;
+    // Clamp before the float->unsigned conversion: p outside [0, 1]
+    // is a caller bug, but it must degrade to the nearest edge, not
+    // to UB.
+    const double frac = std::min(1.0, std::max(0.0, p));
     const auto target =
-        static_cast<std::uint64_t>(p * static_cast<double>(total_));
+        static_cast<std::uint64_t>(frac * static_cast<double>(total_));
     std::uint64_t seen = underflow_;
     if (seen > target)
         return lo_;

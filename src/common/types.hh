@@ -91,6 +91,22 @@ constexpr std::uint64_t MiB = 1024 * KiB;
 constexpr std::uint64_t GiB = 1024 * MiB;
 constexpr std::uint64_t TiB = 1024 * GiB;
 
+/**
+ * Fractional capacity in GiB, converted with an explicit clamp: the
+ * float->unsigned conversion is UB for negative or over-range values
+ * (the PR 4 bug class; toleo_lint's unclamped-cast rule), so table
+ * entries like "11.7 GiB" route through here instead of a bare cast.
+ */
+constexpr std::uint64_t
+gibBytes(double gib)
+{
+    // 2^53 GiB already exceeds the exactly-representable double
+    // range; everything the tables use is far below either bound.
+    const double bytes = gib < 0.0 ? 0.0 : gib * 0x1p30;
+    const double capped = bytes < 0x1p62 ? bytes : 0x1p62;
+    return static_cast<std::uint64_t>(capped); // toleo-lint: allow(unclamped-cast)
+}
+
 } // namespace toleo
 
 #endif // TOLEO_COMMON_TYPES_HH

@@ -54,8 +54,10 @@ InvisiMemEngine::padEpoch(double epoch_ns)
     const double agg_gbps =
         topo_.numDdrChannels() * topo_.config().ddrBandwidthGBps +
         topo_.config().cxlPoolBandwidthGBps;
+    // A negative dummyRateFraction (misconfiguration) must clamp to
+    // zero padding, not hit the float->unsigned cast as UB.
     const auto target = static_cast<std::uint64_t>(
-        cfg_.dummyRateFraction * agg_gbps * epoch_ns);
+        std::max(0.0, cfg_.dummyRateFraction * agg_gbps * epoch_ns));
 
     std::uint64_t pad = 0;
     if (epochRealBytes_ < target)

@@ -103,7 +103,7 @@ runRack(const RackConfig &cfg)
         // upper bound of service * epochNs so float truncation can
         // never manufacture a 1-byte backlog for a lone node.
         const std::uint64_t capacity = static_cast<std::uint64_t>(
-            std::ceil(service * epochNs));
+            std::max(0.0, std::ceil(service * epochNs)));
         arbiter.serveEpoch(capacity);
         // Saturation is an offered-vs-service statement about *this*
         // epoch's traffic; backlog draining from an earlier burst

@@ -149,12 +149,16 @@ runSweep(const std::vector<SweepCell> &cells,
     runCellPool(
         cells.size(), opts.jobs,
         [&](std::size_t i) {
+            // Cell wall-clock is perf telemetry (--bench), never an
+            // input to the simulation itself.
+            // toleo-lint: allow(nondeterminism)
             const auto t0 = std::chrono::steady_clock::now();
             results[i] = cellFn ? cellFn(cells[i], effOpts)
                                 : runSweepCell(cells[i], effOpts);
             if (cellSeconds) {
                 (*cellSeconds)[i] =
                     std::chrono::duration<double>(
+                        // toleo-lint: allow(nondeterminism)
                         std::chrono::steady_clock::now() - t0)
                         .count();
             }
@@ -206,11 +210,14 @@ runRackSweep(const std::vector<SweepCell> &cells,
     runCellPool(
         cells.size(), opts.jobs,
         [&](std::size_t i) {
+            // Perf telemetry only, as in runSweep above.
+            // toleo-lint: allow(nondeterminism)
             const auto t0 = std::chrono::steady_clock::now();
             results[i] = runRackSweepCell(cells[i], effOpts);
             if (cellSeconds) {
                 (*cellSeconds)[i] =
                     std::chrono::duration<double>(
+                        // toleo-lint: allow(nondeterminism)
                         std::chrono::steady_clock::now() - t0)
                         .count();
             }

@@ -38,8 +38,10 @@ struct ToleoDeviceConfig
     /** Total smart-memory capacity (168 GB in the paper). */
     std::uint64_t capacityBytes = 168ULL * 1000 * 1000 * 1000;
     /** Conventional memory the device protects (24.8 TB of data
-     *  out of the rack's 28 TB; the rest holds MACs and UVs). */
-    std::uint64_t protectedBytes = std::uint64_t(24.8 * 1024) * GiB;
+     *  out of the rack's 28 TB; the rest holds MACs and UVs).
+     *  25395 GiB = trunc(24.8 * 1024) GiB, spelled as an integer so
+     *  no float->unsigned conversion is involved. */
+    std::uint64_t protectedBytes = 25395 * GiB;
     TripConfig trip;
 };
 

@@ -119,7 +119,7 @@ buildTable()
     // bsw: banded Smith-Waterman, 2D DP.  Hot band tile + streaming
     // input + sequential DP-row writes (uniform page writes -> flat).
     t["bsw"] = {
-        {"bsw", "GenomicsBench", std::uint64_t(11.7 * GiB), 1.21,
+        {"bsw", "GenomicsBench", gibBytes(11.7), 1.21,
          800 * KiB, 6.0},
         {{hot(24 * KiB, 18.0),
           stream(4 * MiB, 0.1, 0.0),
@@ -129,7 +129,7 @@ buildTable()
 
     // chain: 1D DP over anchors; less memory-intensive than bsw.
     t["chain"] = {
-        {"chain", "GenomicsBench", std::uint64_t(11.75 * GiB), 0.49,
+        {"chain", "GenomicsBench", gibBytes(11.75), 0.49,
          512 * KiB, 6.0},
         {{hot(24 * KiB, 30.0),
           stream(4 * MiB, 0.1, 0.0),
@@ -141,7 +141,7 @@ buildTable()
     // feed hash-table inserts (write-once, near-resident table) and
     // zipf-hot probes.
     t["dbg"] = {
-        {"dbg", "GenomicsBench", std::uint64_t(9.86 * GiB), 0.47,
+        {"dbg", "GenomicsBench", gibBytes(9.86), 0.47,
          3 * MiB, 4.0},
         {{hot(24 * KiB, 200.0),
           stream(4 * MiB, 0.5, 0.0),
@@ -154,7 +154,7 @@ buildTable()
     // over a hot index, a modest input stream, and concentrated
     // repeated node updates (drives the paper-worst uneven share).
     t["fmi"] = {
-        {"fmi", "GenomicsBench", std::uint64_t(12.05 * GiB), 0.45,
+        {"fmi", "GenomicsBench", gibBytes(12.05), 0.45,
          640 * KiB, 1.5},
         {{hot(24 * KiB, 170.0),
           zipfTree(256 * KiB, 3.0, 0.0, 1.2),
@@ -165,7 +165,7 @@ buildTable()
 
     // pileup: position-count hash updates; mostly write-once.
     t["pileup"] = {
-        {"pileup", "GenomicsBench", std::uint64_t(10.85 * GiB), 0.66,
+        {"pileup", "GenomicsBench", gibBytes(10.85), 0.66,
          2560 * KiB, 4.0},
         {{hot(24 * KiB, 160.0),
           stream(4 * MiB, 0.55, 0.0),
@@ -178,7 +178,7 @@ buildTable()
     // bfs: frontier queue (hot) + edge stream + visited/parent bit
     // updates over a near-resident vertex region.
     t["bfs"] = {
-        {"bfs", "GAP", std::uint64_t(12.9 * GiB), 22.57,
+        {"bfs", "GAP", gibBytes(12.9), 22.57,
          2764 * KiB, 8.0},
         {{hot(24 * KiB, 6.0),
           stream(384 * KiB, 0.55, 0.0),
@@ -190,7 +190,7 @@ buildTable()
     // (as in GAP's CSR layout); source scores are power-law hot and
     // near-resident; destination scores are written sequentially.
     t["pr"] = {
-        {"pr", "GAP", std::uint64_t(20.8 * GiB), 133.98,
+        {"pr", "GAP", gibBytes(20.8), 133.98,
          2 * MiB, 12.0},
         {{hot(24 * KiB, 1.9),
           stream(8 * MiB, 1.35, 0.0),
@@ -203,7 +203,7 @@ buildTable()
     // sssp: delta-stepping -- hot bucket + edge stream + repeated
     // distance relaxations over a near-resident array.
     t["sssp"] = {
-        {"sssp", "GAP", std::uint64_t(24.57 * GiB), 2.41,
+        {"sssp", "GAP", gibBytes(24.57), 2.41,
          3277 * KiB, 6.0},
         {{hot(24 * KiB, 40.0),
           stream(6 * MiB, 0.5, 0.0),
@@ -216,7 +216,7 @@ buildTable()
     // activations rewritten uniformly per token (L2-resident buffer);
     // KV-cache appends.
     t["llama2-gen"] = {
-        {"llama2-gen", "LLM", std::uint64_t(25.8 * GiB), 57.96,
+        {"llama2-gen", "LLM", gibBytes(25.8), 57.96,
          2 * MiB, 16.0},
         {{stream(8 * MiB, 0.28, 0.0),
           hot(24 * KiB, 1.6),
@@ -229,7 +229,7 @@ buildTable()
     // redis: memtier all-write Gaussian key popularity; random page
     // accesses give the paper's poor stealth-cache hit rate.
     t["redis"] = {
-        {"redis", "DB", std::uint64_t(11.8 * GiB), 0.76,
+        {"redis", "DB", gibBytes(11.8), 0.76,
          9 * MiB, 2.0},
         {{hot(24 * KiB, 9.0),
           gauss(4 * MiB, 2.0, 0.7, 6.0, 2),
@@ -239,7 +239,7 @@ buildTable()
 
     // memcached: same shape, higher memory intensity, larger values.
     t["memcached"] = {
-        {"memcached", "DB", std::uint64_t(11.8 * GiB), 3.14,
+        {"memcached", "DB", gibBytes(11.8), 3.14,
          12 * MiB, 2.5},
         {{hot(24 * KiB, 5.0),
           gauss(4 * MiB, 0.6, 0.7, 9.0, 4),
@@ -250,7 +250,7 @@ buildTable()
     // hyrise: TPC-C -- scans, row appends (write-once), zipf-hot
     // index updates at commit (repeated -> a few uneven pages).
     t["hyrise"] = {
-        {"hyrise", "DB", std::uint64_t(6.96 * GiB), 3.14,
+        {"hyrise", "DB", gibBytes(6.96), 3.14,
          1536 * KiB, 4.0},
         {{hot(24 * KiB, 20.0),
           stream(2 * MiB, 0.3, 0.0),

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the Json value type's error paths.
+ *
+ * The happy paths are exercised constantly (every sweep report and
+ * golden fixture round-trips through Json); what was untested is the
+ * failure surface -- parse errors, accessor type mismatches, and the
+ * uint64 range guard on asUint() -- which is exactly where a malformed
+ * config or fixture must die loudly instead of corrupting a run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/json.hh"
+
+using namespace toleo;
+
+namespace {
+
+/** Parse expecting failure; returns the error message. */
+std::string
+parseError(const std::string &text)
+{
+    std::string err;
+    const Json j = Json::parse(text, &err);
+    EXPECT_TRUE(j.isNull()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+    return err;
+}
+
+} // namespace
+
+TEST(JsonParse, RoundTrip)
+{
+    const std::string doc =
+        R"({"name":"toleo","n":3,"pi":0.25,"flag":true,)"
+        R"("none":null,"arr":[1,2,3]})";
+    std::string err;
+    const Json j = Json::parse(doc, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.get("name")->asString(), "toleo");
+    EXPECT_EQ(j.get("n")->asUint(), 3u);
+    EXPECT_EQ(j.get("pi")->asDouble(), 0.25);
+    EXPECT_TRUE(j.get("flag")->asBool());
+    EXPECT_TRUE(j.get("none")->isNull());
+    EXPECT_EQ(j.get("arr")->size(), 3u);
+    EXPECT_EQ(j.dump(), doc);
+}
+
+TEST(JsonParse, ErrorsCarryOffset)
+{
+    EXPECT_NE(parseError("").find("unexpected end of input"),
+              std::string::npos);
+    EXPECT_NE(parseError("@").find("unexpected character"),
+              std::string::npos);
+    EXPECT_NE(parseError("[1,2").find("expected ',' or ']'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"a\" 1}").find("expected ':'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{1: 2}").find("expected object key"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"a\":1 \"b\":2}")
+                  .find("expected ',' or '}'"),
+              std::string::npos);
+    EXPECT_NE(parseError("\"abc").find("unterminated string"),
+              std::string::npos);
+    EXPECT_NE(parseError("\"\\q\"").find("bad escape"),
+              std::string::npos);
+    EXPECT_NE(parseError("\"\\u12g4\"").find("bad hex digit"),
+              std::string::npos);
+    EXPECT_NE(parseError("\"\\u12").find("truncated \\u escape"),
+              std::string::npos);
+    EXPECT_NE(parseError("1 2").find("trailing characters"),
+              std::string::npos);
+    // The offset in the message points at the failure site.
+    EXPECT_NE(parseError("[1,2").find("offset 4"), std::string::npos);
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    std::string err;
+    // 1-, 2-, and 3-byte UTF-8 encodings from \u escapes.
+    const Json j = Json::parse(R"(["\u0041","\u00e9","\u20ac"])", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.at(0).asString(), "A");
+    EXPECT_EQ(j.at(1).asString(), "\xc3\xa9");
+    EXPECT_EQ(j.at(2).asString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParse, MalformedNumber)
+{
+    // A lone '-' matches the number grammar's entry but stod rejects
+    // it; the parser must surface that, not throw.
+    EXPECT_NE(parseError("-").find("malformed number"),
+              std::string::npos);
+}
+
+TEST(JsonParse, ErrOutParamIsCleared)
+{
+    std::string err = "stale";
+    const Json j = Json::parse("[1, 2]", &err);
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(JsonDeath, AccessorTypeMismatchPanics)
+{
+    const Json num(3.5);
+    const Json str("abc");
+    EXPECT_DEATH(num.asBool(), "asBool\\(\\) on non-bool");
+    EXPECT_DEATH(str.asDouble(), "asDouble\\(\\) on non-number");
+    EXPECT_DEATH(num.asString(), "asString\\(\\) on non-string");
+    EXPECT_DEATH(num.size(), "size\\(\\) on non-container");
+    EXPECT_DEATH(num.at(0), "at\\(\\) on non-array");
+    EXPECT_DEATH(num.items(), "items\\(\\) on non-object");
+    Json notArr(1);
+    EXPECT_DEATH(notArr.push_back(Json(2)),
+                 "push_back\\(\\) on non-array");
+    Json notObj(1);
+    EXPECT_DEATH(notObj["k"], "operator\\[\\] on non-object");
+}
+
+TEST(JsonDeath, AsUintGuards)
+{
+    EXPECT_DEATH(Json(-1).asUint(), "non-number or negative");
+    EXPECT_DEATH(Json("5").asUint(), "non-number or negative");
+    // 2^64 and above are not representable; the cast would be UB.
+    EXPECT_DEATH(Json(0x1p64).asUint(), "out of uint64 range");
+    EXPECT_DEATH(Json(1e300).asUint(), "out of uint64 range");
+    const double nan = std::nan("");
+    EXPECT_DEATH(Json(nan).asUint(), "out of uint64 range");
+}
+
+TEST(Json, AsUintBoundary)
+{
+    // The largest double below 2^64 must pass the guard.
+    const double maxOk = std::nextafter(0x1p64, 0.0);
+    EXPECT_EQ(Json(maxOk).asUint(), 18446744073709549568ull);
+    EXPECT_EQ(Json(0.0).asUint(), 0u);
+}
+
+TEST(Json, ArrayIndexOutOfRangePanics)
+{
+    Json arr = Json::array();
+    arr.push_back(Json(1));
+    EXPECT_DEATH(arr.at(5), "out of range");
+}
+
+TEST(Json, DumpEscapesControlCharacters)
+{
+    const Json j(std::string("a\"b\\c\nd\te\x01" "f"));
+    EXPECT_EQ(j.dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(Json, DumpNonFiniteNumbersAsNull)
+{
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, GetOnNonObjectReturnsNull)
+{
+    EXPECT_EQ(Json(1).get("k"), nullptr);
+    EXPECT_FALSE(Json().has("k"));
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the logging/report helpers.
+ *
+ * warn()/inform() write printf-formatted lines to stderr; panic()
+ * aborts and fatal() exits(1).  These are the error paths everything
+ * else leans on (every accessor guard in Json, every config check),
+ * so their contracts -- tag prefix, formatting, verbosity gate, and
+ * the two distinct termination modes -- get pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+
+using namespace toleo;
+
+namespace {
+
+/** Run @p fn with stderr captured; returns what it wrote. */
+template <typename Fn>
+std::string
+captureStderr(Fn &&fn)
+{
+    ::testing::internal::CaptureStderr();
+    fn();
+    return ::testing::internal::GetCapturedStderr();
+}
+
+} // namespace
+
+TEST(Logging, WarnIsTaggedAndFormatted)
+{
+    const std::string out = captureStderr(
+        [] { warn("bad value %d in %s", 7, "cfg"); });
+    EXPECT_EQ(out, "warn: bad value 7 in cfg\n");
+}
+
+TEST(Logging, InformIsTaggedAndFormatted)
+{
+    setVerbose(true);
+    const std::string out =
+        captureStderr([] { inform("cell %u done", 3u); });
+    EXPECT_EQ(out, "info: cell 3 done\n");
+}
+
+TEST(Logging, SetVerboseGatesInformOnly)
+{
+    setVerbose(false);
+    const std::string quiet = captureStderr([] {
+        inform("suppressed");
+        warn("still shown");
+    });
+    setVerbose(true);
+    EXPECT_EQ(quiet, "warn: still shown\n");
+
+    // Re-enabling restores inform().
+    const std::string loud = captureStderr([] { inform("back"); });
+    EXPECT_EQ(loud, "info: back\n");
+}
+
+TEST(LoggingDeath, PanicAbortsWithTaggedMessage)
+{
+    EXPECT_DEATH(panic("invariant %s broke", "X"),
+                 "panic: invariant X broke");
+}
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    // fatal() is a clean exit(1), not an abort -- callers rely on the
+    // distinction (fatal for user error, panic for internal bugs).
+    EXPECT_EXIT(fatal("no such file %s", "a.json"),
+                ::testing::ExitedWithCode(1),
+                "fatal: no such file a.json");
+}

@@ -180,6 +180,8 @@ TEST(RackGolden, FourNodeFixedSeedStatsArePinned)
         runRackSweepCell(goldenCell, rackWindow(4));
     const std::string got = rackStatsToJson(stats).dump(2) + "\n";
 
+    // Golden-regeneration entry point, never read during a normal
+    // test run.  toleo-lint: allow(nondeterminism)
     if (const char *update = std::getenv("TOLEO_UPDATE_GOLDEN");
         update && *update) {
         std::ofstream out(TOLEO_RACK_GOLDEN,

@@ -191,3 +191,66 @@ TEST(Rng, BoundedMatchesPlainRejectionModulo)
         }());
     }
 }
+
+// -- Fixed-seed pinning -------------------------------------------------
+//
+// The generators below are determinism-critical: sweep results, golden
+// stats, and record/replay all assume a given (seed, algorithm) pair
+// reproduces bit-identical draws forever.  These tests pin short
+// fixed-seed prefixes so any change to the draw algorithms -- including
+// a well-meaning UB fix that subtly reorders the float math -- fails
+// loudly here instead of silently shifting every downstream golden.
+
+TEST(RngPinned, RawSequenceSeed42)
+{
+    Rng r(42);
+    const std::uint64_t want[] = {
+        1546998764402558742ull, 6990951692964543102ull,
+        12544586762248559009ull, 17057574109182124193ull,
+    };
+    for (const std::uint64_t w : want)
+        EXPECT_EQ(r.next(), w);
+}
+
+TEST(RngPinned, BoundedPow2PathSeed42)
+{
+    // 4096 is a power of two: the mask fast path.
+    Rng r(42);
+    const std::uint64_t want[] = {
+        1814ull, 2686ull, 2465ull, 161ull, 3684ull, 568ull,
+    };
+    for (const std::uint64_t w : want)
+        EXPECT_EQ(r.nextBounded(4096), w);
+}
+
+TEST(RngPinned, BoundedReciprocalPathSeed42)
+{
+    // 12289 is not a power of two: the memoized Granlund-Montgomery
+    // reciprocal path.
+    Rng r(42);
+    const std::uint64_t want[] = {
+        9763ull, 4472ull, 2417ull, 2325ull, 5823ull, 11398ull,
+    };
+    for (const std::uint64_t w : want)
+        EXPECT_EQ(r.nextBounded(12289), w);
+}
+
+TEST(RngPinned, DoubleSeed42)
+{
+    Rng r(42);
+    EXPECT_EQ(r.nextDouble(), 0.083862971059882163);
+    EXPECT_EQ(r.nextDouble(), 0.37898025066266861);
+}
+
+TEST(ZipfPinned, SequenceSeed42)
+{
+    // Covers the rank-0 / rank-1 shortcuts and the pow() tail,
+    // including the clamp-before-cast shape in ZipfSampler::next().
+    ZipfSampler z(100000, 0.99, 42);
+    const std::uint64_t want[] = {
+        1ull, 55ull, 2260ull, 41515ull,
+        90909ull, 6636ull, 3624ull, 17227ull,
+    };
+    for (const std::uint64_t w : want)
+        EXPECT_EQ(z.next(), w);
+}

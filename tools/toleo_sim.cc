@@ -506,6 +506,8 @@ main(int argc, char **argv)
     }
     std::ostream &os = opts.outPath.empty() ? std::cout : file;
 
+    // Whole-sweep wall clock: --bench perf-tracking output only.
+    // toleo-lint: allow(nondeterminism)
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<double> cell_seconds;
     std::vector<SimStats> results;
@@ -522,6 +524,7 @@ main(int argc, char **argv)
     }
     const double wall_seconds =
         std::chrono::duration<double>(
+            // toleo-lint: allow(nondeterminism)
             std::chrono::steady_clock::now() - t0)
             .count();
 
