@@ -180,6 +180,19 @@ class CacheHierarchy
             res.memWritebacks.push_back(*r3.writebackTag);
     }
 
+    /**
+     * Prefetch hint for an upcoming accessPrivate(core, blk, ...):
+     * pulls the L1 and L2 set blocks for @p blk toward the issuing
+     * thread's caches.  No architectural state changes, so the
+     * batching driver can issue it a few references ahead.
+     */
+    void
+    prefetchPrivate(unsigned core, BlockNum blk) const
+    {
+        l1_[core].prefetchSet(blk);
+        l2_[core].prefetchSet(blk);
+    }
+
     std::uint64_t llcHits() const;
     std::uint64_t llcMisses() const;
     std::uint64_t llcAccesses() const;

@@ -32,6 +32,15 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 
+/** SIMD tag probes: x86-64 with a GNU-flavored compiler can build the
+ *  AVX2 scan as a target("avx2") function and dispatch on the host
+ *  CPU at runtime, so the binary stays baseline-portable. */
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TOLEO_SET_ASSOC_SIMD 1
+#else
+#define TOLEO_SET_ASSOC_SIMD 0
+#endif
+
 namespace toleo {
 
 /** Result of a cache access. */
@@ -146,11 +155,79 @@ class SetAssocCache
     unsigned assoc() const { return assoc_; }
     void resetStats();
 
-  private:
+    /** Way index meaning "not found" (see scanWays). */
     static constexpr unsigned wayNone = ~0u;
     /** Metadata word: (lastUse << 2) | kDirty | kValid. */
     static constexpr std::uint64_t kValid = 1;
     static constexpr std::uint64_t kDirty = 2;
+
+    /**
+     * Scalar reference scan over one set's key/metadata words: the
+     * lowest way w with keys[w] == key whose valid bit is set, or
+     * wayNone.  Public and static (alongside the SIMD variant below)
+     * so tests/test_set_assoc.cc can property-test the two
+     * implementations against each other on arbitrary slabs.
+     */
+    static unsigned
+    scanWaysScalar(const std::uint64_t *keys, const std::uint64_t *meta,
+                   unsigned assoc, std::uint64_t key)
+    {
+        for (unsigned w = 0; w < assoc; ++w) {
+            // Keys of invalid lines are stale, so the (rare) tag
+            // match still has to check the valid bit.
+            if (keys[w] == key && (meta[w] & kValid))
+                return w;
+        }
+        return wayNone;
+    }
+
+#if TOLEO_SET_ASSOC_SIMD
+    /** AVX2 scan, scalar-identical by construction: 4-way compares
+     *  walk the ways in ascending order and candidate lanes resolve
+     *  lowest-first, so stale duplicates behind an invalid line
+     *  cannot change which way wins. */
+    static unsigned scanWaysAvx2(const std::uint64_t *keys,
+                                 const std::uint64_t *meta,
+                                 unsigned assoc, std::uint64_t key);
+
+    /** Runtime CPU dispatch, resolved once before main() so the
+     *  check is a plain bool load on the hot path. */
+    static bool
+    haveAvx2()
+    {
+        static const bool ok = __builtin_cpu_supports("avx2") != 0;
+        return ok;
+    }
+#endif
+
+    /** Dispatching scan: SIMD when the host supports it and the set
+     *  is wide enough to amortize the setup, scalar otherwise. */
+    static unsigned
+    scanWays(const std::uint64_t *keys, const std::uint64_t *meta,
+             unsigned assoc, std::uint64_t key)
+    {
+#if TOLEO_SET_ASSOC_SIMD
+        if (assoc >= 8 && haveAvx2())
+            return scanWaysAvx2(keys, meta, assoc, key);
+#endif
+        return scanWaysScalar(keys, meta, assoc, key);
+    }
+
+    /**
+     * Hint the prefetcher at the slab lines an upcoming access to
+     * @p key will probe (the set's keys and its metadata words).
+     * Pure performance hint: no architectural state changes, so the
+     * batching driver can issue these ahead of the access loop.
+     */
+    void
+    prefetchSet(std::uint64_t key) const
+    {
+        const std::uint64_t *p = &slab_[setBase(key)];
+        __builtin_prefetch(p, 1, 3);
+        __builtin_prefetch(p + assoc_, 1, 3);
+    }
+
+  private:
 
     std::uint64_t numSets_;
     unsigned assoc_;
@@ -211,18 +288,15 @@ class SetAssocCache
         return set * stride_;
     }
 
-    /** Scan one set for a valid line holding @p key; way or wayNone. */
+    /** Scan one set for a valid line holding @p key; way or wayNone.
+     *  The slab layout (a set's keys contiguous, then its metadata)
+     *  was built for this: the scan is one dispatch into the
+     *  vectorized probe over the key slab. */
     unsigned
     findInSet(std::size_t base, std::uint64_t key) const
     {
-        for (unsigned w = 0; w < assoc_; ++w) {
-            // Keys of invalid lines are stale, so the (rare) tag
-            // match still has to check the valid bit.
-            if (slab_[base + w] == key &&
-                (slab_[base + assoc_ + w] & kValid))
-                return w;
-        }
-        return wayNone;
+        return scanWays(&slab_[base], &slab_[base + assoc_], assoc_,
+                        key);
     }
 
     /**

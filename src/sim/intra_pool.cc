@@ -1,0 +1,100 @@
+#include "sim/intra_pool.hh"
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+IntraPool::IntraPool(unsigned threads)
+    : workers_(threads > 0 ? threads - 1 : 0)
+{
+    if (threads == 0)
+        panic("IntraPool: thread count must be >= 1");
+    pool_.reserve(workers_);
+    for (unsigned s = 0; s < workers_; ++s)
+        pool_.emplace_back([this, s] { workerLoop(s + 1); });
+}
+
+IntraPool::~IntraPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_.notify_all();
+    for (auto &t : pool_)
+        t.join();
+}
+
+void
+IntraPool::runSlice(unsigned slot,
+                    const std::function<void(unsigned)> &fn, unsigned n)
+{
+    const unsigned stride = workers_ + 1;
+    try {
+        for (unsigned i = slot; i < n; i += stride)
+            fn(i);
+    } catch (...) {
+        // First error wins; the remaining indices of this stripe are
+        // abandoned, the other stripes complete, and the caller
+        // rethrows after the barrier.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+}
+
+void
+IntraPool::workerLoop(unsigned slot)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *fn = nullptr;
+        unsigned n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_.wait(lock,
+                        [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            fn = task_;
+            n = taskN_;
+        }
+        runSlice(slot, *fn, n);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+        }
+        done_.notify_one();
+    }
+}
+
+void
+IntraPool::run(unsigned n, const std::function<void(unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_ == 0) {
+        runSlice(0, fn, n);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            task_ = &fn;
+            taskN_ = n;
+            pending_ = workers_;
+            ++epoch_;
+        }
+        start_.notify_all();
+        runSlice(0, fn, n);
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        task_ = nullptr;
+    }
+    if (firstError_) {
+        std::exception_ptr err;
+        std::swap(err, firstError_);
+        std::rethrow_exception(err);
+    }
+}
+
+} // namespace toleo

@@ -14,7 +14,8 @@
 namespace toleo {
 
 SimStats
-runSweepCell(const SweepCell &cell, const SweepOptions &opts)
+runSweepCell(const SweepCell &cell, const SweepOptions &opts,
+             PhaseTimes *phases)
 {
     SystemConfig cfg =
         makeScaledConfig(cell.workload, cell.engine, opts.cores);
@@ -22,8 +23,13 @@ runSweepCell(const SweepCell &cell, const SweepOptions &opts)
     cfg.trace = opts.trace;
     cfg.tracePath = opts.tracePath;
     cfg.recordTracePath = opts.recordTracePath;
+    cfg.intraThreads = opts.intraThreads;
+    cfg.phaseTimers = phases != nullptr;
     System sys(cfg);
-    return sys.run(opts.warmupRefs, opts.measureRefs);
+    SimStats stats = sys.run(opts.warmupRefs, opts.measureRefs);
+    if (phases)
+        *phases = sys.phaseTimes();
+    return stats;
 }
 
 std::vector<SweepCell>
@@ -127,7 +133,8 @@ withPreloadedTrace(const SweepOptions &opts, SweepOptions &shared)
 std::vector<SimStats>
 runSweep(const std::vector<SweepCell> &cells,
          const SweepOptions &opts, const SweepProgressFn &progress,
-         std::vector<double> *cellSeconds, const SweepCellFn &cellFn)
+         std::vector<double> *cellSeconds, const SweepCellFn &cellFn,
+         std::vector<PhaseTimes> *cellPhases)
 {
     // Recording writes one trace file per run(), so a multi-cell
     // grid would have every cell truncate and rewrite the same path
@@ -145,6 +152,8 @@ runSweep(const std::vector<SweepCell> &cells,
     std::vector<SimStats> results(cells.size());
     if (cellSeconds)
         cellSeconds->assign(cells.size(), 0.0);
+    if (cellPhases)
+        cellPhases->assign(cells.size(), PhaseTimes{});
 
     runCellPool(
         cells.size(), opts.jobs,
@@ -153,8 +162,11 @@ runSweep(const std::vector<SweepCell> &cells,
             // input to the simulation itself.
             // toleo-lint: allow(nondeterminism)
             const auto t0 = std::chrono::steady_clock::now();
-            results[i] = cellFn ? cellFn(cells[i], effOpts)
-                                : runSweepCell(cells[i], effOpts);
+            results[i] =
+                cellFn ? cellFn(cells[i], effOpts)
+                       : runSweepCell(cells[i], effOpts,
+                                      cellPhases ? &(*cellPhases)[i]
+                                                 : nullptr);
             if (cellSeconds) {
                 (*cellSeconds)[i] =
                     std::chrono::duration<double>(
@@ -178,6 +190,10 @@ runRackSweepCell(const SweepCell &cell, const SweepOptions &opts)
     base.seed = opts.seed;
     base.trace = opts.trace;
     base.tracePath = opts.tracePath;
+    // makeRackConfig clones the base config per node, so every
+    // node's private phase gets the same intra-cell pool size; the
+    // nodes themselves still step serially (determinism).
+    base.intraThreads = opts.intraThreads;
     RackConfig rc = makeRackConfig(opts.rackNodes, base);
     rc.deviceServiceGBps = opts.rackServiceGBps;
     rc.warmupRefs = opts.warmupRefs;

@@ -40,6 +40,15 @@ struct SweepOptions
     std::uint64_t seed = 42;
     /** Worker threads; cells run serially when 1. */
     unsigned jobs = 1;
+    /**
+     * Private-phase threads *inside* each cell's System(s)
+     * (SystemConfig::intraThreads).  Composes multiplicatively with
+     * jobs: a sweep can run up to jobs x intraThreads threads at
+     * once, so callers should budget the product against the host
+     * (the toleo_sim CLI enforces this).  Statistics are
+     * bit-identical for any value.
+     */
+    unsigned intraThreads = 1;
     /** Replay cells from this trace file instead of synthesizing. */
     std::string tracePath;
     /**
@@ -60,8 +69,13 @@ struct SweepOptions
     double rackServiceGBps = 0.0;
 };
 
-/** Build and run the System for one cell. */
-SimStats runSweepCell(const SweepCell &cell, const SweepOptions &opts);
+/**
+ * Build and run the System for one cell.
+ * @param phases If non-null, enables SystemConfig::phaseTimers and
+ *        receives the cell's wall-time breakdown by phase.
+ */
+SimStats runSweepCell(const SweepCell &cell, const SweepOptions &opts,
+                      PhaseTimes *phases = nullptr);
 
 /**
  * Called as each cell finishes (from the worker that ran it, under a
@@ -90,13 +104,17 @@ std::vector<SweepCell> makeSweepGrid(
  * @param cellSeconds If non-null, resized to cells.size() and filled
  *        with each cell's wall-clock seconds (perf tracking).
  * @param cellFn Cell runner override; defaults to runSweepCell.
+ * @param cellPhases If non-null, resized to cells.size() and filled
+ *        with each cell's per-phase wall-time breakdown (zeros when
+ *        @p cellFn overrides the runner).
  * @return One SimStats per cell, in the order of @p cells.
  */
 std::vector<SimStats> runSweep(const std::vector<SweepCell> &cells,
                                const SweepOptions &opts,
                                const SweepProgressFn &progress = {},
                                std::vector<double> *cellSeconds = nullptr,
-                               const SweepCellFn &cellFn = {});
+                               const SweepCellFn &cellFn = {},
+                               std::vector<PhaseTimes> *cellPhases = nullptr);
 
 /** Build and run one cell as an opts.rackNodes-node rack. */
 RackStats runRackSweepCell(const SweepCell &cell,

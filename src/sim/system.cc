@@ -1,14 +1,36 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "secmem/noprotect.hh"
+#include "sim/intra_pool.hh"
 #include "workload/trace_file.hh"
 
 namespace toleo {
+
+namespace {
+
+/**
+ * Host wall clock for the bench-only phase breakdown (PhaseTimes).
+ * Gated so the default path performs no clock calls; the value never
+ * feeds simulated state, only the --bench telemetry.
+ */
+double
+benchNowNs(bool enabled)
+{
+    if (!enabled)
+        return 0.0;
+    return std::chrono::duration<double, std::nano>(
+               // toleo-lint: allow(nondeterminism)
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 const char *
 engineKindName(EngineKind kind)
@@ -111,6 +133,19 @@ System::System(const SystemConfig &cfg)
     evBuf_.resize(refBuf_.size());
     evCount_.assign(cfg.numCores, 0);
     evPos_.assign(cfg.numCores, 0);
+
+    // Private-phase worker pool.  More threads than cores can never
+    // help (the unit of work is one core's batch), and intraThreads
+    // == 1 keeps the historical single-threaded path with no pool,
+    // no staging, and no synchronization at all.
+    const unsigned intra =
+        std::min(std::max(cfg.intraThreads, 1u), cfg.numCores);
+    if (intra > 1) {
+        intraPool_ = std::make_unique<IntraPool>(intra);
+        footprintStage_.resize(cfg.numCores);
+        for (auto &stage : footprintStage_)
+            stage.reserve(batchRounds);
+    }
 }
 
 System::~System() = default;
@@ -169,45 +204,86 @@ System::stepShared(unsigned core, const MemRef &ref,
 }
 
 void
+System::privateCore(unsigned core, std::uint64_t rounds)
+{
+    // Pull the probed L1/L2 set blocks a few references ahead of the
+    // access loop; the draws below give the addresses up front.
+    constexpr std::uint64_t prefetchDist = 8;
+
+    MemRef *refs = &refBuf_[core * batchRounds];
+    SharedEvent *evs = &evBuf_[core * batchRounds];
+    gens_[core]->nextBatch(refs, rounds);
+    std::vector<PageNum> *stage =
+        intraPool_ ? &footprintStage_[core] : nullptr;
+    std::uint32_t nev = 0;
+    std::uint64_t insts = 0;
+    for (std::uint64_t k = 0; k < rounds; ++k) {
+        const MemRef &ref = refs[k];
+        insts += ref.instGap + 1;
+        if (k + prefetchDist < rounds) {
+            hierarchy_.prefetchPrivate(
+                core, blockOf(refs[k + prefetchDist].addr));
+        }
+        const PrivateAccessResult priv = hierarchy_.accessPrivate(
+            core, blockOf(ref.addr), ref.isWrite);
+        // RSS tracking off the L1-hit path: a page's very first
+        // reference always misses L1 (an untouched block cannot be
+        // resident), so recording pages on L1 misses only yields the
+        // same footprint set.  Under the pool the insert is staged
+        // per core -- footprint_ is the single structure the private
+        // phase would otherwise share -- and merged by stepRounds.
+        if (!priv.l1Hit) {
+            const PageNum page = pageOf(ref.addr);
+            if (stage)
+                stage->push_back(page);
+            else
+                footprint_.insert(page);
+        }
+        if (priv.needsShared()) {
+            evs[nev].round = static_cast<std::uint32_t>(k);
+            evs[nev].priv = priv;
+            ++nev;
+        }
+    }
+    evCount_[core] = nev;
+    evPos_[core] = 0;
+    coreInsts_[core] += insts;
+}
+
+void
 System::stepRounds(std::uint64_t rounds)
 {
     const unsigned cores = cfg_.numCores;
+    const bool timing = cfg_.phaseTimers;
     while (rounds > 0) {
         const std::uint64_t n = std::min(rounds, batchRounds);
 
-        // Private phase, one core at a time: generator draws and the
-        // core's own L1/L2.  Per-generator draw order and per-cache
-        // operation sequences are exactly those of the old
-        // one-reference-at-a-time loop; batching only improves
-        // locality, since no other core touches these structures.
-        for (unsigned c = 0; c < cores; ++c) {
-            MemRef *refs = &refBuf_[c * batchRounds];
-            SharedEvent *evs = &evBuf_[c * batchRounds];
-            gens_[c]->nextBatch(refs, n);
-            std::uint32_t nev = 0;
-            std::uint64_t insts = 0;
-            for (std::uint64_t k = 0; k < n; ++k) {
-                const MemRef &ref = refs[k];
-                insts += ref.instGap + 1;
-                const PrivateAccessResult priv =
-                    hierarchy_.accessPrivate(c, blockOf(ref.addr),
-                                             ref.isWrite);
-                // RSS tracking off the L1-hit path: a page's very
-                // first reference always misses L1 (an untouched
-                // block cannot be resident), so recording pages on
-                // L1 misses only yields the same footprint set.
-                if (!priv.l1Hit)
-                    footprint_.insert(pageOf(ref.addr));
-                if (priv.needsShared()) {
-                    evs[nev].round = static_cast<std::uint32_t>(k);
-                    evs[nev].priv = priv;
-                    ++nev;
-                }
+        const double t0 = benchNowNs(timing);
+
+        // Private phase: generator draws and each core's own L1/L2.
+        // Per-generator draw order and per-cache operation sequences
+        // are exactly those of the old one-reference-at-a-time loop;
+        // the cores' structures are mutually disjoint, so running
+        // them concurrently (static striping, pure function of core
+        // id and thread count) cannot reorder anything observable.
+        if (intraPool_) {
+            intraPool_->run(cores,
+                            [this, n](unsigned c) { privateCore(c, n); });
+            // Merge the staged footprint inserts serially, in core
+            // order.  The footprint is a set and its final contents
+            // are all that is ever read (size()), so the merge is
+            // bit-identical to inline insertion for any thread count.
+            for (unsigned c = 0; c < cores; ++c) {
+                for (PageNum page : footprintStage_[c])
+                    footprint_.insert(page);
+                footprintStage_[c].clear();
             }
-            evCount_[c] = nev;
-            evPos_[c] = 0;
-            coreInsts_[c] += insts;
+        } else {
+            for (unsigned c = 0; c < cores; ++c)
+                privateCore(c, n);
         }
+
+        const double t1 = benchNowNs(timing);
 
         // Shared phase, in round-robin global order: L3 slices, the
         // memory topology, and the protection engine observe the
@@ -225,6 +301,11 @@ System::stepRounds(std::uint64_t rounds)
                 stepShared(c, refBuf_[c * batchRounds + k], ev.priv);
                 evPos_[c] = pos + 1;
             }
+        }
+
+        if (timing) {
+            phases_.privateNs += t1 - t0;
+            phases_.sharedNs += benchNowNs(true) - t1;
         }
         rounds -= n;
     }
@@ -250,6 +331,7 @@ System::resetMeasurement()
 void
 System::epochBoundary()
 {
+    const double t0 = benchNowNs(cfg_.phaseTimers);
     double delta = maxCoreTimeNs() - runLastEpochNs_;
     if (delta <= 0.0)
         delta = 1.0;
@@ -275,6 +357,8 @@ System::epochBoundary()
     epochWallNs_ = delta;
     ++epochsCompleted_;
     runLastEpochNs_ = maxCoreTimeNs();
+    if (cfg_.phaseTimers)
+        phases_.epochNs += benchNowNs(true) - t0;
 }
 
 // Rounds (one reference per core) until the next epoch boundary

@@ -40,6 +40,7 @@
 
 namespace toleo {
 
+class IntraPool;
 class TraceFile;
 class TraceWriter;
 
@@ -100,6 +101,37 @@ struct SystemConfig
     std::shared_ptr<const TraceFile> trace;
     /** Record every core's generated stream to this trace file. */
     std::string recordTracePath;
+    /**
+     * Worker threads for the core-private phase of stepRounds (the
+     * calling thread counts, so 1 = today's single-threaded run).
+     * Any value produces bit-identical statistics: the per-core
+     * private bodies touch disjoint state, and the shared phase
+     * replays the exact global order single-threaded either way.
+     * Clamped to numCores; composes with cross-cell sweep jobs (the
+     * drivers budget jobs x intraThreads against the host).
+     */
+    unsigned intraThreads = 1;
+    /**
+     * Accumulate the per-phase wall-time breakdown (phaseTimes()).
+     * Off by default: the clock calls are pure measurement overhead,
+     * and the numbers are a bench-only side channel -- they are
+     * deliberately NOT part of SimStats/statsToJson, whose fixed-seed
+     * output is byte-pinned by goldens.
+     */
+    bool phaseTimers = false;
+};
+
+/**
+ * Wall-time breakdown of a run by phase, in nanoseconds of host time.
+ * Collected only when SystemConfig::phaseTimers is set, and reported
+ * only through the --bench JSON -- never through statsToJson, so the
+ * determinism goldens stay byte-identical.
+ */
+struct PhaseTimes
+{
+    double privateNs = 0.0; ///< generator draws + L1/L2 (threadable)
+    double sharedNs = 0.0;  ///< L3 + topology + engine replay
+    double epochNs = 0.0;   ///< epoch boundaries (padding, queueing)
 };
 
 /** Everything a bench needs to print one row of any paper table. */
@@ -283,6 +315,9 @@ class System
     /** True once warmup finished and measurement began. */
     bool measuring() const { return runMeasuring_; }
 
+    /** Phase breakdown so far; zeros unless cfg.phaseTimers. */
+    PhaseTimes phaseTimes() const { return phases_; }
+
     const SystemConfig &config() const { return cfg_; }
     ProtectionEngine &engine() { return *engine_; }
     ToleoDevice *device() { return devp_; }
@@ -335,6 +370,25 @@ class System
     /** Rounds of references buffered per core in one sub-batch. */
     static constexpr std::uint64_t batchRounds = 256;
 
+    /**
+     * Worker pool for the private phase; null when cfg_.intraThreads
+     * (clamped to numCores) is 1, keeping the single-threaded path
+     * free of any synchronization.
+     */
+    std::unique_ptr<IntraPool> intraPool_;
+    /**
+     * Per-core staging for footprint_ inserts: the one shared touch
+     * in the private loop.  Each core appends its pages here (its own
+     * vector, no sharing), and stepRounds merges them into footprint_
+     * serially in core order -- set insertion is order-insensitive,
+     * so the merged footprint is identical to the historical inline
+     * inserts for any thread count.
+     */
+    std::vector<std::vector<PageNum>> footprintStage_;
+
+    /** Phase wall-time accumulators (cfg_.phaseTimers only). */
+    PhaseTimes phases_;
+
     /** State of the in-flight epoch-steppable run (see beginRun). */
     std::uint64_t runWarmupRefs_ = 0;
     std::uint64_t runMeasureRefs_ = 0;
@@ -367,6 +421,13 @@ class System
      * sample falls inside a batch.
      */
     void stepRounds(std::uint64_t rounds);
+    /**
+     * Core-private body of one stepRounds sub-batch for one core:
+     * generator draw, L1/L2 accesses, shared-event queueing, and
+     * footprint staging.  Touches only core-indexed state, so
+     * stepRounds may run it for different cores concurrently.
+     */
+    void privateCore(unsigned core, std::uint64_t rounds);
     double coreTimeNs(unsigned core) const;
     double maxCoreTimeNs() const;
     void resetMeasurement();

@@ -211,3 +211,78 @@ TEST(SweepTiming, CellSecondsReported)
         EXPECT_LT(seconds[i], 60.0);
     }
 }
+
+namespace {
+
+/** tinyWindow with enough cores that an 8-thread intra-cell pool is
+ *  not clamped down to the core count. */
+SweepOptions
+intraWindow(unsigned jobs, unsigned intra)
+{
+    SweepOptions opts = tinyWindow(jobs);
+    opts.cores = 8;
+    opts.intraThreads = intra;
+    return opts;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Intra-cell (private-phase) threading: SystemConfig::intraThreads
+// runs each core's generator draws and L1/L2 accesses on a worker
+// pool, with the shared phase replaying the exact global order.  The
+// contract is the same as for --jobs: not observable in the stats.
+// ---------------------------------------------------------------------
+
+TEST(IntraThreadDeterminism, SameSeedSameBytesAcrossThreadCounts)
+{
+    const auto cells = smallGrid();
+    const auto one = dumpAll(runSweep(cells, intraWindow(1, 1)));
+    const auto two = dumpAll(runSweep(cells, intraWindow(1, 2)));
+    const auto eight = dumpAll(runSweep(cells, intraWindow(1, 8)));
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+}
+
+TEST(IntraThreadDeterminism, ComposesWithCrossCellJobs)
+{
+    // jobs x intraThreads: every cell gets its own pool while the
+    // cells themselves run on the cross-cell pool.
+    const auto cells = smallGrid();
+    const auto serial = dumpAll(runSweep(cells, intraWindow(1, 1)));
+    const auto composed = dumpAll(runSweep(cells, intraWindow(4, 2)));
+    EXPECT_EQ(serial, composed);
+}
+
+TEST(IntraThreadDeterminism, RackNodesSameBytesAcrossThreadCounts)
+{
+    const auto cells = rackGrid();
+    SweepOptions w1 = rackWindow(1);
+    SweepOptions w2 = rackWindow(1);
+    w2.intraThreads = 2;
+    SweepOptions w8 = rackWindow(1);
+    w8.intraThreads = 8; // clamped to the per-node core count
+    const auto one = dumpAllRacks(runRackSweep(cells, w1));
+    const auto two = dumpAllRacks(runRackSweep(cells, w2));
+    const auto eight = dumpAllRacks(runRackSweep(cells, w8));
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+}
+
+TEST(SweepTiming, PhaseBreakdownReported)
+{
+    const auto cells = smallGrid();
+    std::vector<PhaseTimes> phases;
+    const auto results =
+        runSweep(cells, tinyWindow(1), {}, nullptr, {}, &phases);
+    ASSERT_EQ(phases.size(), cells.size());
+    for (const auto &ph : phases) {
+        // Every cell simulates real work in both phases; the epoch
+        // accumulator can be arbitrarily small but never negative.
+        EXPECT_GT(ph.privateNs, 0.0);
+        EXPECT_GT(ph.sharedNs, 0.0);
+        EXPECT_GE(ph.epochNs, 0.0);
+    }
+    // Enabling the timers must not perturb the simulation itself.
+    EXPECT_EQ(dumpAll(results), dumpAll(runSweep(cells, tinyWindow(1))));
+}

@@ -26,6 +26,10 @@
  *                       tests/check_includes.cmake)
  *   struct-init         scalar members of Config/Options/Stats
  *                       structs must carry in-class initializers
+ *   raw-thread          std::thread/std::async/pthread_create outside
+ *                       the sanctioned pool implementations
+ *                       (sim/intra_pool, sim/sweep.cc); new
+ *                       parallelism must preserve deterministic replay
  *
  * A justified site is annotated, never globally silenced:
  *
@@ -674,6 +678,49 @@ ruleStructInit(const std::vector<SourceFile> &files, Linter &lint)
 }
 
 // ---------------------------------------------------------------------
+// Rule: raw-thread
+// ---------------------------------------------------------------------
+
+void
+ruleRawThread(const std::vector<SourceFile> &files, Linter &lint)
+{
+    // Threading is only compatible with the determinism contract
+    // here because every existing pool preserves the replay
+    // structure: runCellPool (sim/sweep.cc) runs cells that share no
+    // mutable state, and IntraPool (sim/intra_pool) runs per-core
+    // private phases whose work assignment is a pure function of the
+    // index.  A raw std::thread anywhere else has no such argument
+    // attached, so it is banned: route new parallelism through one
+    // of the pools (or extend this sanctioned list with the
+    // accompanying reasoning).
+    static const std::vector<std::string> sanctioned = {
+        "src/sim/intra_pool.hh",
+        "src/sim/intra_pool.cc",
+        "src/sim/sweep.cc",
+    };
+    // hardware_concurrency() is a capacity query, not a spawn.
+    static const std::regex threadRe(
+        R"(std\s*::\s*j?thread\b(?!\s*::\s*hardware_concurrency))");
+    static const std::regex spawnRe(
+        R"(\bpthread_create\b|std\s*::\s*async\b)");
+    for (const auto &sf : files) {
+        if (std::find(sanctioned.begin(), sanctioned.end(), sf.path) !=
+            sanctioned.end())
+            continue;
+        for (std::size_t i = 0; i < sf.code.size(); ++i) {
+            if (std::regex_search(sf.code[i], threadRe) ||
+                std::regex_search(sf.code[i], spawnRe))
+                lint.emit(sf, i + 1, "raw-thread",
+                          "raw thread spawn outside the sanctioned "
+                          "pools: new parallelism must go through "
+                          "IntraPool (per-core private phases) or "
+                          "runCellPool (independent cells) so the "
+                          "deterministic-replay structure survives");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -690,6 +737,7 @@ ruleTable()
         {"stats-serialization", ruleStatsSerialization},
         {"include-convention", ruleIncludeConvention},
         {"struct-init", ruleStructInit},
+        {"raw-thread", ruleRawThread},
     };
     return rules;
 }
@@ -814,6 +862,11 @@ selfTest()
                          "    unsigned good = 4;\n"
                          "    double bare;\n"
                          "};\n"}}},
+        {"raw-thread",
+         {{"src/bad.cc",
+           "#include <thread>\n"
+           "void f() { std::thread t([] {}); t.join(); }\n"
+           "void g() { auto r = std::async([] { return 1; }); }\n"}}},
     };
 
     int failures = 0;

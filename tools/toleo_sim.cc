@@ -12,6 +12,7 @@
  *   toleo_sim --workloads all --engines all --jobs 8 --format csv
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +46,14 @@ struct CliOptions
     bool bench = false;
     /** Previous BENCH_sweep.json to embed for before/after deltas. */
     std::string benchPrevPath;
+    /** Free-text host/context note embedded in the bench record. */
+    std::string benchNote;
+    /** Big-cell microbench thread counts ("1,2,8"); empty = skip. */
+    std::string benchBig;
+    /** --jobs was given explicitly (0 = auto-detect). */
+    bool jobsSet = false;
+    /** Run even when jobs x threads-per-cell exceeds the host. */
+    bool allowOversubscribe = false;
 };
 
 void
@@ -65,7 +74,19 @@ usage(const char *argv0)
         "  --cores N         simulated cores per cell (default: 8)\n"
         "  --warmup N        warmup references per core (default: 30000)\n"
         "  --measure N       measured references per core (default: 60000)\n"
-        "  --jobs N          worker threads (default: hardware threads)\n"
+        "  --jobs N          cross-cell worker threads; 0 (and the\n"
+        "                    default) = auto-detect: hardware threads\n"
+        "                    divided by --threads-per-cell\n"
+        "  --threads-per-cell N\n"
+        "                    private-phase threads inside every cell's\n"
+        "                    System(s) (default: 1); statistics are\n"
+        "                    bit-identical for any value.  Composes\n"
+        "                    multiplicatively with --jobs, and the\n"
+        "                    product is checked against the host's\n"
+        "                    hardware threads\n"
+        "  --allow-oversubscribe\n"
+        "                    run anyway when an explicit --jobs x\n"
+        "                    --threads-per-cell oversubscribes the host\n"
         "  --seed N          simulation seed (default: 42)\n"
         "  --rack N          simulate every cell as an N-node rack\n"
         "                    sharing one Toleo device (node i seeds\n"
@@ -92,6 +113,15 @@ usage(const char *argv0)
         "  --bench-prev F    embed the wallSeconds/refsPerSec of a\n"
         "                    previous BENCH_sweep.json as 'previous'\n"
         "                    and report the speedup against it\n"
+        "  --bench-note TEXT embed TEXT as 'note' in the bench record\n"
+        "                    (host description, context)\n"
+        "  --bench-big LIST  with --bench: also run the 64-core\n"
+        "                    big-cell microbench once per\n"
+        "                    threads-per-cell count in the comma-\n"
+        "                    separated LIST, recording wall time,\n"
+        "                    refs/sec, speedup, the per-phase\n"
+        "                    breakdown, and stats bit-identity\n"
+        "                    across thread counts\n"
         "  --help            this message\n",
         argv0);
 }
@@ -121,8 +151,6 @@ CliOptions
 parseArgs(int argc, char **argv)
 {
     CliOptions opts;
-    const unsigned hw = std::thread::hardware_concurrency();
-    opts.sweep.jobs = hw ? hw : 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -133,6 +161,10 @@ parseArgs(int argc, char **argv)
             opts.bench = true;
         } else if (!std::strcmp(arg, "--bench-prev")) {
             opts.benchPrevPath = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--bench-note")) {
+            opts.benchNote = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--bench-big")) {
+            opts.benchBig = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--engines")) {
             opts.engines = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--cores")) {
@@ -149,10 +181,18 @@ parseArgs(int argc, char **argv)
             if (opts.sweep.measureRefs == 0)
                 fatal("--measure must be positive");
         } else if (!std::strcmp(arg, "--jobs")) {
+            // 0 = auto-detect, resolved below once every flag
+            // (notably --threads-per-cell) has been parsed.
             opts.sweep.jobs = static_cast<unsigned>(
                 parseUint(arg, nextArg(argc, argv, i)));
-            if (opts.sweep.jobs == 0)
-                fatal("--jobs must be positive");
+            opts.jobsSet = opts.sweep.jobs != 0;
+        } else if (!std::strcmp(arg, "--threads-per-cell")) {
+            opts.sweep.intraThreads = static_cast<unsigned>(
+                parseUint(arg, nextArg(argc, argv, i)));
+            if (opts.sweep.intraThreads == 0)
+                fatal("--threads-per-cell must be positive");
+        } else if (!std::strcmp(arg, "--allow-oversubscribe")) {
+            opts.allowOversubscribe = true;
         } else if (!std::strcmp(arg, "--seed")) {
             opts.sweep.seed = parseUint(arg, nextArg(argc, argv, i));
         } else if (!std::strcmp(arg, "--rack")) {
@@ -198,6 +238,31 @@ parseArgs(int argc, char **argv)
             fatal("unknown option '%s'", arg);
         }
     }
+
+    // Thread budget.  Unset or explicit-zero --jobs auto-detects:
+    // the host's hardware threads divided across the per-cell pools,
+    // so the default never oversubscribes whatever
+    // --threads-per-cell was chosen.  hardware_concurrency() may
+    // return 0 (unknown); treat that as 1 and skip the guard.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (!opts.jobsSet)
+        opts.sweep.jobs =
+            std::max(1u, (hw ? hw : 1) / opts.sweep.intraThreads);
+
+    // An explicit combination that oversubscribes the host thrashes
+    // silently (every pool thinks it owns the machine); reject it
+    // with the budget spelled out.  Plain --jobs N > hw stays legal
+    // as it always was -- the check guards the new multiplicative
+    // knob.
+    if (opts.sweep.intraThreads > 1 && opts.jobsSet && hw != 0 &&
+        opts.sweep.jobs * opts.sweep.intraThreads > hw &&
+        !opts.allowOversubscribe)
+        fatal("--jobs %u x --threads-per-cell %u = %u threads "
+              "oversubscribes this host's %u hardware threads; "
+              "lower one, let --jobs auto-detect (omit it or pass "
+              "0), or pass --allow-oversubscribe",
+              opts.sweep.jobs, opts.sweep.intraThreads,
+              opts.sweep.jobs * opts.sweep.intraThreads, hw);
     return opts;
 }
 
@@ -215,6 +280,7 @@ emitJson(const CliOptions &opts, const std::vector<SweepCell> &cells,
     cfg["measureRefs"] = opts.sweep.measureRefs;
     cfg["seed"] = opts.sweep.seed;
     cfg["jobs"] = opts.sweep.jobs;
+    cfg["threadsPerCell"] = opts.sweep.intraThreads;
     cfg["cells"] = static_cast<std::uint64_t>(cells.size());
     doc["config"] = std::move(cfg);
 
@@ -245,6 +311,7 @@ emitRackJson(const CliOptions &opts,
     cfg["measureRefs"] = opts.sweep.measureRefs;
     cfg["seed"] = opts.sweep.seed;
     cfg["jobs"] = opts.sweep.jobs;
+    cfg["threadsPerCell"] = opts.sweep.intraThreads;
     cfg["cells"] = static_cast<std::uint64_t>(cells.size());
     doc["config"] = std::move(cfg);
 
@@ -277,6 +344,112 @@ cellRefs(const SweepOptions &opts)
     return (opts.warmupRefs + opts.measureRefs) * opts.cores;
 }
 
+/** PhaseTimes (ns accumulators) as a JSON object in seconds. */
+Json
+phasesToJson(const PhaseTimes &ph)
+{
+    Json j = Json::object();
+    j["privateSeconds"] = ph.privateNs * 1e-9;
+    j["sharedSeconds"] = ph.sharedNs * 1e-9;
+    j["epochSeconds"] = ph.epochNs * 1e-9;
+    return j;
+}
+
+/**
+ * The big-cell microbench: one 64-core memcached/Toleo cell -- the
+ * one-hot-node shape the rack economics care about, where cross-cell
+ * --jobs cannot help -- run once per requested threads-per-cell
+ * count.  Records wall time, refs/sec, the per-phase breakdown, the
+ * speedup over the first run, and whether statsToJson stayed
+ * bit-identical across every thread count.
+ */
+Json
+runBenchBig(const CliOptions &opts)
+{
+    std::vector<unsigned> counts;
+    {
+        std::stringstream ss(opts.benchBig);
+        std::string part;
+        while (std::getline(ss, part, ',')) {
+            if (part.empty())
+                continue;
+            const unsigned t = static_cast<unsigned>(
+                parseUint("--bench-big", part.c_str()));
+            if (t == 0)
+                fatal("--bench-big: thread counts must be positive");
+            counts.push_back(t);
+        }
+    }
+    if (counts.empty())
+        fatal("--bench-big: expected a comma-separated list of "
+              "thread counts, got '%s'", opts.benchBig.c_str());
+
+    const SweepCell cell{"memcached", EngineKind::Toleo};
+    SweepOptions bo;
+    bo.cores = 64;
+    bo.warmupRefs = 30000;
+    bo.measureRefs = 60000;
+    bo.seed = opts.sweep.seed;
+    bo.jobs = 1;
+
+    Json big = Json::object();
+    big["workload"] = cell.workload;
+    big["engine"] = engineKindName(cell.engine);
+    big["cores"] = bo.cores;
+    big["warmupRefs"] = bo.warmupRefs;
+    big["measureRefs"] = bo.measureRefs;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::string firstDump;
+    double firstSec = 0.0;
+    bool identical = true;
+    Json runs = Json::array();
+    for (const unsigned t : counts) {
+        if (hw != 0 && t > hw)
+            warn("--bench-big: %u threads on a %u-thread host; the "
+                 "timing of this run is not meaningful", t, hw);
+        bo.intraThreads = t;
+        PhaseTimes ph;
+        // Microbench wall clock: perf telemetry only.
+        // toleo-lint: allow(nondeterminism)
+        const auto t0 = std::chrono::steady_clock::now();
+        const SimStats stats = runSweepCell(cell, bo, &ph);
+        const double sec =
+            std::chrono::duration<double>(
+                // toleo-lint: allow(nondeterminism)
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        std::ostringstream dump;
+        statsToJson(stats).dump(dump, 2);
+        if (firstDump.empty()) {
+            firstDump = dump.str();
+            firstSec = sec;
+        } else if (dump.str() != firstDump) {
+            identical = false;
+        }
+
+        Json run = Json::object();
+        run["intraThreads"] = t;
+        run["wallSeconds"] = sec;
+        run["refsPerSec"] =
+            sec > 0.0 ? static_cast<double>(cellRefs(bo)) / sec : 0.0;
+        run["speedupVsFirst"] = sec > 0.0 ? firstSec / sec : 0.0;
+        run["phases"] = phasesToJson(ph);
+        runs.push_back(std::move(run));
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "[big-cell] %u thread%s: %.3fs\n", t,
+                         t == 1 ? "" : "s", sec);
+    }
+    big["runs"] = std::move(runs);
+    big["bitIdentical"] = identical;
+    if (!identical)
+        fatal("--bench-big: statsToJson differed across thread "
+              "counts; the intra-cell pool broke determinism");
+    return big;
+}
+
 /**
  * The machine-readable perf record: wall seconds and refs/sec for
  * the grid and per cell, so every PR leaves a trajectory point to
@@ -285,12 +458,15 @@ cellRefs(const SweepOptions &opts)
 void
 emitBench(const CliOptions &opts, const std::vector<SweepCell> &cells,
           const std::vector<SimStats> &results,
-          const std::vector<double> &cell_seconds, double wall_seconds,
-          std::ostream &os)
+          const std::vector<double> &cell_seconds,
+          const std::vector<PhaseTimes> &cell_phases,
+          double wall_seconds, Json bigCell, std::ostream &os)
 {
     Json doc = Json::object();
     doc["tool"] = "toleo_sim";
     doc["mode"] = "bench";
+    if (!opts.benchNote.empty())
+        doc["note"] = opts.benchNote;
 
     Json cfg = Json::object();
     cfg["cores"] = opts.sweep.cores;
@@ -298,6 +474,7 @@ emitBench(const CliOptions &opts, const std::vector<SweepCell> &cells,
     cfg["measureRefs"] = opts.sweep.measureRefs;
     cfg["seed"] = opts.sweep.seed;
     cfg["jobs"] = opts.sweep.jobs;
+    cfg["threadsPerCell"] = opts.sweep.intraThreads;
     cfg["cells"] = static_cast<std::uint64_t>(cells.size());
     doc["config"] = std::move(cfg);
 
@@ -322,9 +499,14 @@ emitBench(const CliOptions &opts, const std::vector<SweepCell> &cells,
                 : 0.0;
         cell["ipc"] = results[i].ipc;
         cell["llcMpki"] = results[i].llcMpki;
+        if (i < cell_phases.size())
+            cell["phases"] = phasesToJson(cell_phases[i]);
         arr.push_back(std::move(cell));
     }
     doc["cells"] = std::move(arr);
+
+    if (!bigCell.isNull())
+        doc["bigCell"] = std::move(bigCell);
 
     if (!opts.benchPrevPath.empty()) {
         std::ifstream in(opts.benchPrevPath);
@@ -395,6 +577,8 @@ main(int argc, char **argv)
                   "--trace/--record-trace are not supported in "
                   "bench mode");
     }
+    if (!opts.benchBig.empty() && !opts.bench)
+        fatal("--bench-big extends the --bench record; pass --bench");
 
     const bool rack = opts.sweep.rackNodes > 1;
     if (rack) {
@@ -510,6 +694,7 @@ main(int argc, char **argv)
     // toleo-lint: allow(nondeterminism)
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<double> cell_seconds;
+    std::vector<PhaseTimes> cell_phases;
     std::vector<SimStats> results;
     std::vector<RackStats> rackResults;
     try {
@@ -518,7 +703,9 @@ main(int argc, char **argv)
                                        rackProgress);
         else
             results = runSweep(cells, opts.sweep, progress,
-                               opts.bench ? &cell_seconds : nullptr);
+                               opts.bench ? &cell_seconds : nullptr,
+                               {},
+                               opts.bench ? &cell_phases : nullptr);
     } catch (const std::exception &e) {
         fatal("sweep failed: %s", e.what());
     }
@@ -528,10 +715,17 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - t0)
             .count();
 
+    // The big-cell microbench runs after (outside) the timed grid so
+    // the grid's wallSeconds stays comparable across records.
+    Json bigCell;
+    if (!opts.benchBig.empty())
+        bigCell = runBenchBig(opts);
+
     if (rack)
         emitRackJson(opts, cells, rackResults, wall_seconds, os);
     else if (opts.bench)
-        emitBench(opts, cells, results, cell_seconds, wall_seconds, os);
+        emitBench(opts, cells, results, cell_seconds, cell_phases,
+                  wall_seconds, std::move(bigCell), os);
     else if (opts.format == "csv")
         emitCsv(results, os);
     else
