@@ -142,6 +142,44 @@ runRack(const RackConfig &cfg)
         out.nodes[i].deviceRequests = device.totalRequests(i);
     }
 
+    // Rack-wide serving aggregate: counts and rates sum over nodes,
+    // percentiles are recomputed from the merged histograms (exact,
+    // not an average of per-node percentiles), and the span is the
+    // slowest node's.  Per-request means are request-weighted.
+    double servLatW = 0.0, servQueueW = 0.0, servSvcW = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const ServingStats &ns = out.nodes[i].sim.serving;
+        if (ns.arrival.empty())
+            continue;
+        ServingStats &rs = out.serving;
+        rs.arrival = ns.arrival;
+        rs.sloUs = ns.sloUs;
+        rs.offeredRatePerSec += ns.offeredRatePerSec;
+        rs.requests += ns.requests;
+        rs.sloMet += ns.sloMet;
+        rs.spanSeconds = std::max(rs.spanSeconds, ns.spanSeconds);
+        rs.offeredRps += ns.offeredRps;
+        rs.completedRps += ns.completedRps;
+        rs.goodputRps += ns.goodputRps;
+        const double w = static_cast<double>(ns.requests);
+        servLatW += ns.meanLatencyUs * w;
+        servQueueW += ns.meanQueueUs * w;
+        servSvcW += ns.meanServiceUs * w;
+        rs.latency.merge(ns.latency);
+    }
+    if (!out.serving.arrival.empty() && out.serving.requests > 0) {
+        ServingStats &rs = out.serving;
+        const double total = static_cast<double>(rs.requests);
+        rs.sloAttainment = static_cast<double>(rs.sloMet) / total;
+        rs.meanLatencyUs = servLatW / total;
+        rs.meanQueueUs = servQueueW / total;
+        rs.meanServiceUs = servSvcW / total;
+        rs.p50LatencyUs = rs.latency.percentileNs(0.50) * 1e-3;
+        rs.p99LatencyUs = rs.latency.percentileNs(0.99) * 1e-3;
+        rs.p999LatencyUs = rs.latency.percentileNs(0.999) * 1e-3;
+        rs.maxLatencyUs = rs.latency.maxNs() * 1e-3;
+    }
+
     out.deviceGrantedBytes = arbiter.totalGrantedBytes();
     out.devicePeakBacklogBytes = arbiter.peakBacklogBytes();
     out.sharedTouchedPages = device.store().touchedPages();
@@ -180,6 +218,10 @@ rackStatsToJson(const RackStats &stats)
     j["spaceRejections"] = stats.spaceRejections;
     j["sharedTouchedPages"] = stats.sharedTouchedPages;
     j["sharedDynamicPeakBytes"] = stats.sharedDynamicPeakBytes;
+    // Emitted only for open-loop runs, so closed-model rack output
+    // (and the golden fixture) stays byte-identical.
+    if (!stats.serving.arrival.empty())
+        j["serving"] = servingStatsToJson(stats.serving);
     return j;
 }
 

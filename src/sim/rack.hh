@@ -121,6 +121,14 @@ struct RackStats
     /** Shared-store aggregates across all nodes. */
     std::uint64_t sharedTouchedPages = 0;
     std::uint64_t sharedDynamicPeakBytes = 0;
+
+    /**
+     * Rack-wide open-loop serving aggregate: request counts and rates
+     * summed over the nodes, latency percentiles recomputed from the
+     * merged per-node histograms, spanSeconds = the slowest node.
+     * Empty (arrival == "") when the rack ran the closed model.
+     */
+    ServingStats serving;
 };
 
 /**

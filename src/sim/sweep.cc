@@ -24,6 +24,7 @@ runSweepCell(const SweepCell &cell, const SweepOptions &opts,
     cfg.tracePath = opts.tracePath;
     cfg.recordTracePath = opts.recordTracePath;
     cfg.intraThreads = opts.intraThreads;
+    cfg.arrival = opts.arrival;
     cfg.phaseTimers = phases != nullptr;
     System sys(cfg);
     SimStats stats = sys.run(opts.warmupRefs, opts.measureRefs);
@@ -194,6 +195,7 @@ runRackSweepCell(const SweepCell &cell, const SweepOptions &opts)
     // node's private phase gets the same intra-cell pool size; the
     // nodes themselves still step serially (determinism).
     base.intraThreads = opts.intraThreads;
+    base.arrival = opts.arrival;
     RackConfig rc = makeRackConfig(opts.rackNodes, base);
     rc.deviceServiceGBps = opts.rackServiceGBps;
     rc.warmupRefs = opts.warmupRefs;

@@ -67,6 +67,12 @@ struct SweepOptions
     unsigned rackNodes = 1;
     /** Shared-device service bandwidth, GB/s; 0 = auto (rack.hh). */
     double rackServiceGBps = 0.0;
+    /**
+     * Request arrival model (SystemConfig::arrival), applied to every
+     * cell.  The default closed model reproduces the classic replay
+     * byte-for-byte; open models add ServingStats on top.
+     */
+    ArrivalConfig arrival;
 };
 
 /**

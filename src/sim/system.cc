@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "secmem/noprotect.hh"
@@ -123,6 +125,48 @@ System::System(const SystemConfig &cfg)
             for (unsigned c = 0; c < cfg.numCores; ++c)
                 gens_[c] = std::make_unique<RecordingTraceGen>(
                     std::move(gens_[c]), *traceWriter_, c);
+        }
+    }
+
+    // Open-loop serving overlay: wrap every generator in a
+    // RequestSource that tracks request boundaries.  The wrapper
+    // forwards draws unchanged and the arrival process never feeds
+    // back into simulated state, so every non-serving statistic is
+    // bit-identical to the closed-loop run of the same config.
+    serving_ = cfg.arrival.open();
+    if (serving_) {
+        if (!std::isfinite(cfg.arrival.ratePerSec) ||
+            cfg.arrival.ratePerSec <= 0.0)
+            throw std::invalid_argument(
+                "System: open-loop arrival needs a positive finite "
+                "ratePerSec");
+        if (!std::isfinite(cfg.arrival.sloUs) ||
+            cfg.arrival.sloUs <= 0.0)
+            throw std::invalid_argument(
+                "System: open-loop arrival needs a positive finite "
+                "sloUs");
+        if (cfg.arrival.requestRefs == 0)
+            throw std::invalid_argument(
+                "System: arrival.requestRefs must be >= 1");
+        if (!cfg.recordTracePath.empty())
+            throw std::invalid_argument(
+                "System: record the trace under the closed arrival "
+                "model and replay it open-loop instead");
+        sloNs_ = cfg.arrival.sloUs * 1000.0;
+        perCoreRate_ = cfg.arrival.ratePerSec / cfg.numCores;
+        reqSrcs_.resize(cfg.numCores);
+        servCores_.resize(cfg.numCores);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            auto src = std::make_unique<RequestSource>(
+                std::move(gens_[c]), cfg.arrival.requestRefs);
+            reqSrcs_[c] = src.get();
+            gens_[c] = std::move(src);
+            // Dedicated stream, decorrelated from the workload draws:
+            // the arrival process must not mirror or perturb them.
+            servCores_[c].rng =
+                Rng(cfg.seed ^ 0x517cc1b727220a95ULL ^
+                    (static_cast<std::uint64_t>(c) *
+                     0x9e3779b97f4a7c15ULL));
         }
     }
 
@@ -247,6 +291,27 @@ System::privateCore(unsigned core, std::uint64_t rounds)
     }
     evCount_[core] = nev;
     evPos_[core] = 0;
+    if (serving_) {
+        // Stage this batch's request boundaries (round index plus the
+        // absolute retired-instruction count at completion) for the
+        // shared phase to time-stamp.  A post-loop pass over the
+        // already-drawn refs keeps the hot loop above untouched; the
+        // state is all core-local, so the intra pool needs no
+        // synchronization.
+        auto &sv = servCores_[core];
+        sv.boundaries.clear();
+        sv.pos = 0;
+        const auto &marks = reqSrcs_[core]->batchBoundaries();
+        if (!marks.empty()) {
+            std::uint64_t cum = coreInsts_[core];
+            std::uint64_t next = 0;
+            for (const std::uint32_t m : marks) {
+                for (; next <= m; ++next)
+                    cum += refs[next].instGap + 1;
+                sv.boundaries.push_back({m, cum});
+            }
+        }
+    }
     coreInsts_[core] += insts;
 }
 
@@ -301,6 +366,11 @@ System::stepRounds(std::uint64_t rounds)
                 stepShared(c, refBuf_[c * batchRounds + k], ev.priv);
                 evPos_[c] = pos + 1;
             }
+            // Requests ending at round k complete here: the round's
+            // shared work has been replayed, so each boundary core's
+            // stall clock is final for this point in time.
+            if (serving_)
+                finalizeServingRound(k);
         }
 
         if (timing) {
@@ -312,8 +382,77 @@ System::stepRounds(std::uint64_t rounds)
 }
 
 void
+System::finalizeServingRound(std::uint64_t k)
+{
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        auto &sv = servCores_[c];
+        while (sv.pos < sv.boundaries.size() &&
+               sv.boundaries[sv.pos].round == k) {
+            completeRequest(c, sv.boundaries[sv.pos].insts);
+            ++sv.pos;
+        }
+    }
+}
+
+void
+System::completeRequest(unsigned core, std::uint64_t instsAtDone)
+{
+    // Warmup requests are ignored; the first boundary after the stats
+    // reset only primes the service-time mark (the request it closes
+    // spans the reset, so its duration is not a full request's).
+    if (!runMeasuring_)
+        return;
+    auto &sv = servCores_[core];
+    const double now = static_cast<double>(instsAtDone) /
+                           (cfg_.baseIpc * cfg_.clockGhz) +
+                       coreStallNs_[core];
+    if (!sv.primed) {
+        sv.primed = true;
+        sv.lastMarkNs = now;
+        return;
+    }
+    const double service = std::max(0.0, now - sv.lastMarkNs);
+    sv.lastMarkNs = now;
+
+    // Open-loop overlay (Lindley recursion): the closed-loop replay
+    // supplies the per-request service time (memory stalls and rack
+    // contention included), the seeded arrival process supplies the
+    // arrival time, and queueing delay emerges whenever arrivals
+    // outpace service.  None of this feeds back into simulated state.
+    sv.arrivalNs +=
+        drawInterarrivalNs(cfg_.arrival, perCoreRate_, sv.rng);
+    const double start = std::max(sv.arrivalNs, sv.lastDoneNs);
+    const double done = start + service;
+    sv.lastDoneNs = done;
+    const double latency = done - sv.arrivalNs;
+    const double queue = start - sv.arrivalNs;
+
+    ++servRequests_;
+    if (latency <= sloNs_)
+        ++servSloMet_;
+    servLatSumNs_ += latency;
+    servQueueSumNs_ += queue;
+    servSvcSumNs_ += service;
+    servLatency_.sample(latency);
+}
+
+void
+System::resetServing()
+{
+    servLatency_.reset();
+    servLatSumNs_ = servQueueSumNs_ = servSvcSumNs_ = 0.0;
+    servRequests_ = servSloMet_ = 0;
+    for (auto &sv : servCores_) {
+        sv.lastMarkNs = sv.arrivalNs = sv.lastDoneNs = 0.0;
+        sv.primed = false;
+    }
+}
+
+void
 System::resetMeasurement()
 {
+    if (serving_)
+        resetServing();
     hierarchy_.resetStats();
     topo_.resetStats();
     engine_->stats().reset();
@@ -390,6 +529,8 @@ System::beginRun(std::uint64_t warmup_refs, std::uint64_t measure_refs)
     runMeasuring_ = false;
     runActive_ = true;
     runStats_ = SimStats{};
+    if (serving_)
+        resetServing();
     epochToleoBytes_ = 0;
     epochWallNs_ = 0.0;
     epochsCompleted_ = 0;
@@ -574,6 +715,46 @@ System::finishRun()
                             devp_->store().upgradesToFull();
     }
 
+    if (serving_) {
+        ServingStats &sv = out.serving;
+        sv.arrival = arrivalKindName(cfg_.arrival.kind);
+        sv.offeredRatePerSec = cfg_.arrival.ratePerSec;
+        sv.sloUs = cfg_.arrival.sloUs;
+        sv.requests = servRequests_;
+        sv.sloMet = servSloMet_;
+        double done_span = 0.0;
+        double arrival_span = 0.0;
+        for (const auto &core : servCores_) {
+            done_span = std::max(done_span, core.lastDoneNs);
+            arrival_span = std::max(arrival_span, core.arrivalNs);
+        }
+        const double req = static_cast<double>(servRequests_);
+        sv.spanSeconds = done_span * 1e-9;
+        sv.offeredRps =
+            arrival_span > 0.0 ? req / (arrival_span * 1e-9) : 0.0;
+        sv.completedRps =
+            done_span > 0.0 ? req / (done_span * 1e-9) : 0.0;
+        sv.goodputRps = done_span > 0.0
+                            ? static_cast<double>(servSloMet_) /
+                                  (done_span * 1e-9)
+                            : 0.0;
+        sv.sloAttainment =
+            servRequests_
+                ? static_cast<double>(servSloMet_) / req
+                : 0.0;
+        sv.meanLatencyUs =
+            servRequests_ ? servLatSumNs_ / req * 1e-3 : 0.0;
+        sv.meanQueueUs =
+            servRequests_ ? servQueueSumNs_ / req * 1e-3 : 0.0;
+        sv.meanServiceUs =
+            servRequests_ ? servSvcSumNs_ / req * 1e-3 : 0.0;
+        sv.p50LatencyUs = servLatency_.percentileNs(0.50) * 1e-3;
+        sv.p99LatencyUs = servLatency_.percentileNs(0.99) * 1e-3;
+        sv.p999LatencyUs = servLatency_.percentileNs(0.999) * 1e-3;
+        sv.maxLatencyUs = servLatency_.maxNs() * 1e-3;
+        sv.latency = servLatency_;
+    }
+
     // Flush the capture (warmup + measurement) so a replay of the
     // same window consumes exactly the recorded stream.
     if (traceWriter_)
@@ -671,6 +852,49 @@ statsToJson(const SimStats &stats)
         timeline.push_back(std::move(point));
     }
     j["usageTimeline"] = std::move(timeline);
+    // Open-loop serving block: only present when the run actually
+    // served, so closed-mode output stays byte-identical to the
+    // goldens and the committed bench records.
+    if (!stats.serving.arrival.empty())
+        j["serving"] = servingStatsToJson(stats.serving);
+    return j;
+}
+
+Json
+servingStatsToJson(const ServingStats &stats)
+{
+    Json j = Json::object();
+    j["arrival"] = stats.arrival;
+    j["offeredRatePerSec"] = stats.offeredRatePerSec;
+    j["sloUs"] = stats.sloUs;
+    j["requests"] = stats.requests;
+    j["sloMet"] = stats.sloMet;
+    j["spanSeconds"] = stats.spanSeconds;
+    j["offeredRps"] = stats.offeredRps;
+    j["completedRps"] = stats.completedRps;
+    j["goodputRps"] = stats.goodputRps;
+    j["sloAttainment"] = stats.sloAttainment;
+    j["meanLatencyUs"] = stats.meanLatencyUs;
+    j["meanQueueUs"] = stats.meanQueueUs;
+    j["meanServiceUs"] = stats.meanServiceUs;
+
+    Json pct = Json::object();
+    pct["p50Us"] = stats.p50LatencyUs;
+    pct["p99Us"] = stats.p99LatencyUs;
+    pct["p999Us"] = stats.p999LatencyUs;
+    pct["maxUs"] = stats.maxLatencyUs;
+    j["latencyPercentilesUs"] = std::move(pct);
+
+    // Summary of the mergeable distribution itself (the full bucket
+    // array stays in-memory only; rack aggregation merges it before
+    // serializing, so rack percentiles cover all nodes' requests).
+    Json lat = Json::object();
+    lat["count"] = stats.latency.count();
+    lat["minUs"] = stats.latency.minNs() * 1e-3;
+    lat["maxUs"] = stats.latency.maxNs() * 1e-3;
+    lat["meanUs"] = stats.latency.meanNs() * 1e-3;
+    lat["p90Us"] = stats.latency.percentileNs(0.90) * 1e-3;
+    j["latencyHistogram"] = std::move(lat);
     return j;
 }
 
@@ -683,7 +907,9 @@ statsCsvHeader()
            "stealthBpi,dummyBpi,macCacheHitRate,stealthCacheHitRate,"
            "tripFlatPages,tripUnevenPages,tripFullPages,"
            "toleoPeakUsageBytes,avgEntryBytesPerPage,toleoResets,"
-           "toleoUpgrades";
+           "toleoUpgrades,arrival,servedRequests,offeredRps,"
+           "completedRps,goodputRps,sloAttainment,p50LatencyUs,"
+           "p99LatencyUs,p999LatencyUs";
 }
 
 std::string
@@ -702,7 +928,17 @@ statsCsvRow(const SimStats &stats)
        << ',' << stats.trip.flat << ',' << stats.trip.uneven << ','
        << stats.trip.full << ',' << stats.toleoPeakUsageBytes << ','
        << stats.avgEntryBytesPerPage << ',' << stats.toleoResets
-       << ',' << stats.toleoUpgrades;
+       << ',' << stats.toleoUpgrades << ','
+       << (stats.serving.arrival.empty() ? "closed"
+                                         : stats.serving.arrival)
+       << ',' << stats.serving.requests << ','
+       << stats.serving.offeredRps << ','
+       << stats.serving.completedRps << ','
+       << stats.serving.goodputRps << ','
+       << stats.serving.sloAttainment << ','
+       << stats.serving.p50LatencyUs << ','
+       << stats.serving.p99LatencyUs << ','
+       << stats.serving.p999LatencyUs;
     return os.str();
 }
 

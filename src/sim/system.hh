@@ -36,6 +36,7 @@
 #include "secmem/merkle.hh"
 #include "toleo/device.hh"
 #include "toleo/engine.hh"
+#include "workload/request.hh"
 #include "workload/workload.hh"
 
 namespace toleo {
@@ -119,6 +120,16 @@ struct SystemConfig
      * output is byte-pinned by goldens.
      */
     bool phaseTimers = false;
+    /**
+     * Request arrival model (workload/request.hh).  The default
+     * (closed) is the historical closed-loop replay with no serving
+     * layer at all; open-loop models (poisson/burst) wrap every
+     * generator in a RequestSource and report per-request latency and
+     * SLO statistics in SimStats::serving.  The arrival overlay never
+     * feeds back into simulated state, so all non-serving statistics
+     * are bit-identical to the closed run of the same config.
+     */
+    ArrivalConfig arrival;
 };
 
 /**
@@ -172,6 +183,13 @@ struct SimStats
 
     std::uint64_t toleoResets = 0;
     std::uint64_t toleoUpgrades = 0;
+
+    /**
+     * Open-loop serving statistics; `serving.arrival` is empty for
+     * closed-loop runs and every serializer keys off that, so the
+     * closed-mode JSON/CSV output stays byte-identical.
+     */
+    ServingStats serving;
 };
 
 /**
@@ -389,6 +407,42 @@ class System
     /** Phase wall-time accumulators (cfg_.phaseTimers only). */
     PhaseTimes phases_;
 
+    /** One request completion staged by privateCore for one batch. */
+    struct RequestBoundary
+    {
+        std::uint32_t round; ///< batch-relative round index
+        std::uint64_t insts; ///< absolute retired insts at completion
+    };
+    /**
+     * Per-core open-loop serving state.  Service times come from the
+     * closed-loop execution (core-time delta between request
+     * boundaries); arrivals come from a dedicated seeded Rng; latency
+     * follows the Lindley recursion start = max(arrival, prevDone).
+     */
+    struct ServingCore
+    {
+        Rng rng{0};              ///< arrival-process draws
+        double lastMarkNs = 0.0; ///< core time at the last boundary
+        double arrivalNs = 0.0;  ///< arrival time of the latest request
+        double lastDoneNs = 0.0; ///< completion of the latest request
+        bool primed = false;     ///< first post-reset boundary seen
+        std::vector<RequestBoundary> boundaries; ///< staged this batch
+        std::uint32_t pos = 0;   ///< finalize cursor into boundaries
+    };
+
+    /** Open-loop overlay active (cfg_.arrival.open()). */
+    bool serving_ = false;
+    double sloNs_ = 0.0;
+    double perCoreRate_ = 0.0;
+    std::vector<RequestSource *> reqSrcs_; ///< borrowed views of gens_
+    std::vector<ServingCore> servCores_;
+    LatencyHistogram servLatency_;
+    double servLatSumNs_ = 0.0;
+    double servQueueSumNs_ = 0.0;
+    double servSvcSumNs_ = 0.0;
+    std::uint64_t servRequests_ = 0;
+    std::uint64_t servSloMet_ = 0;
+
     /** State of the in-flight epoch-steppable run (see beginRun). */
     std::uint64_t runWarmupRefs_ = 0;
     std::uint64_t runMeasureRefs_ = 0;
@@ -430,6 +484,16 @@ class System
     void privateCore(unsigned core, std::uint64_t rounds);
     double coreTimeNs(unsigned core) const;
     double maxCoreTimeNs() const;
+    /**
+     * Complete every request boundary staged for round @p k: the
+     * shared work of the round has been replayed, so the boundary
+     * core's stall clock is final for that point in time.
+     */
+    void finalizeServingRound(std::uint64_t k);
+    /** Lindley-recursion completion of one request on @p core. */
+    void completeRequest(unsigned core, std::uint64_t instsAtDone);
+    /** Zero the serving accumulators and per-core overlay state. */
+    void resetServing();
     void resetMeasurement();
     /** Close the current traffic epoch (padding, bandwidth floor). */
     void epochBoundary();
@@ -446,6 +510,13 @@ void printConfig(const SystemConfig &cfg, std::ostream &os);
  * machine-readable substrate for sweep drivers and perf tracking.
  */
 Json statsToJson(const SimStats &stats);
+
+/**
+ * Serialize an open-loop serving record (rates, SLO attainment, the
+ * percentile table, and a latency-distribution summary).  Emitted by
+ * statsToJson / rackStatsToJson only when the record is non-empty.
+ */
+Json servingStatsToJson(const ServingStats &stats);
 
 /** Column names of the flat (scalar-only) CSV stats record. */
 std::string statsCsvHeader();

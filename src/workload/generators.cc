@@ -28,6 +28,7 @@
 
 #include "common/logging.hh"
 #include "workload/mix.hh"
+#include "workload/request_apps.hh"
 
 namespace toleo {
 
@@ -305,6 +306,10 @@ paperWorkloads()
 std::unique_ptr<TraceGen>
 makeWorkload(const std::string &name, unsigned core, std::uint64_t seed)
 {
+    // Request-shaped datacenter apps live in their own registry so
+    // the paper grid above stays byte-pinned.
+    if (auto app = makeRequestApp(name, core, seed))
+        return app;
     auto it = table().find(name);
     if (it == table().end())
         fatal("unknown workload '%s'", name.c_str());
@@ -316,6 +321,9 @@ makeWorkload(const std::string &name, unsigned core, std::uint64_t seed)
 WorkloadInfo
 workloadInfo(const std::string &name)
 {
+    WorkloadInfo app;
+    if (requestAppInfo(name, app))
+        return app;
     auto it = table().find(name);
     if (it == table().end())
         fatal("unknown workload '%s'", name.c_str());

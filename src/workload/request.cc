@@ -1,0 +1,156 @@
+#include "workload/request.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace toleo {
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Closed:
+        return "closed";
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Burst:
+        return "burst";
+    }
+    panic("arrivalKindName: unknown kind");
+}
+
+namespace {
+
+/** Parse a strictly-positive finite double; false on any leftover. */
+bool
+parsePositive(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (!std::isfinite(v) || v <= 0.0)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+parseArrivalSpec(const std::string &spec, ArrivalConfig &out,
+                 std::string &err)
+{
+    if (spec == "closed") {
+        out.kind = ArrivalKind::Closed;
+        out.ratePerSec = 0.0;
+        return true;
+    }
+    const auto colon = spec.find(':');
+    const std::string head = spec.substr(0, colon);
+    const std::string tail =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (head == "poisson") {
+        double rate = 0.0;
+        if (!parsePositive(tail, rate)) {
+            err = "poisson arrival needs a positive finite rate: "
+                  "poisson:<req/s>";
+            return false;
+        }
+        out.kind = ArrivalKind::Poisson;
+        out.ratePerSec = rate;
+        return true;
+    }
+    if (head == "burst") {
+        const auto comma = tail.find(',');
+        double rate = 0.0;
+        double cv = 0.0;
+        if (comma == std::string::npos ||
+            !parsePositive(tail.substr(0, comma), rate) ||
+            !parsePositive(tail.substr(comma + 1), cv)) {
+            err = "burst arrival needs a positive finite rate and CV: "
+                  "burst:<req/s>,<cv>";
+            return false;
+        }
+        out.kind = ArrivalKind::Burst;
+        out.ratePerSec = rate;
+        out.cv = cv;
+        return true;
+    }
+    err = "unknown arrival model '" + spec +
+          "' (expected closed, poisson:<rate>, or burst:<rate>,<cv>)";
+    return false;
+}
+
+double
+drawInterarrivalNs(const ArrivalConfig &cfg, double ratePerSec, Rng &rng)
+{
+    const double mean_ns = 1e9 / ratePerSec;
+    switch (cfg.kind) {
+      case ArrivalKind::Closed:
+        return 0.0;
+      case ArrivalKind::Poisson: {
+        // Inverse-CDF exponential; u in [0, 1) keeps the log finite.
+        const double u = rng.nextDouble();
+        return -std::log(1.0 - u) * mean_ns;
+      }
+      case ArrivalKind::Burst: {
+        // Lognormal with the requested mean and CV: the same Gaussian
+        // draw sequence scales by 1/rate, like the exponential above.
+        const double sigma2 = std::log1p(cfg.cv * cfg.cv);
+        const double mu = std::log(mean_ns) - 0.5 * sigma2;
+        return std::exp(rng.nextGaussian(mu, std::sqrt(sigma2)));
+      }
+    }
+    panic("drawInterarrivalNs: unknown kind");
+}
+
+RequestSource::RequestSource(std::unique_ptr<TraceGen> inner,
+                             std::uint64_t requestRefs)
+    : TraceGen(inner->info()), inner_(std::move(inner)),
+      shaped_(dynamic_cast<RequestShapedGen *>(inner_.get())),
+      fixedRefs_(requestRefs)
+{
+    if (!shaped_ && fixedRefs_ == 0)
+        panic("RequestSource: requestRefs must be >= 1");
+}
+
+MemRef
+RequestSource::next()
+{
+    if (leftInRequest_ == 0)
+        leftInRequest_ = shaped_ ? shaped_->nextRequestLen() : fixedRefs_;
+    --leftInRequest_;
+    return inner_->next();
+}
+
+void
+RequestSource::nextBatch(MemRef *out, std::size_t n)
+{
+    boundaries_.clear();
+    std::size_t filled = 0;
+    while (filled < n) {
+        if (leftInRequest_ == 0) {
+            leftInRequest_ =
+                shaped_ ? shaped_->nextRequestLen() : fixedRefs_;
+            if (leftInRequest_ == 0)
+                panic("RequestSource: generator planned an empty "
+                      "request");
+        }
+        const std::size_t take = static_cast<std::size_t>(std::min<
+            std::uint64_t>(n - filled, leftInRequest_));
+        inner_->nextBatch(out + filled, take);
+        filled += take;
+        leftInRequest_ -= take;
+        if (leftInRequest_ == 0)
+            boundaries_.push_back(
+                static_cast<std::uint32_t>(filled - 1));
+    }
+}
+
+} // namespace toleo

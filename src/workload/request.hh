@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Open-loop request layer: arrival models and the RequestSource
+ * wrapper that groups a generator's MemRef stream into requests.
+ *
+ * The closed-loop replay core stays untouched: a RequestSource
+ * delegates every draw to the wrapped generator (the emitted reference
+ * stream is bit-identical to the unwrapped generator), and merely
+ * tracks where request boundaries fall within each batch.  The System
+ * consumes those boundaries to measure per-request service time and
+ * runs the arrival process as a timing overlay — so the `closed`
+ * arrival model is the degenerate case with no wrapper at all, and
+ * every existing fixed-seed output is trivially preserved.
+ *
+ * Request segmentation comes from the generator when it is
+ * request-shaped (RequestShapedGen: kvs/nat/bm25/knn plan whole
+ * requests and know their lengths), and from fixed-size slicing
+ * (ArrivalConfig::requestRefs) for plain mix generators and trace
+ * replay, which carry no request structure.
+ */
+
+#ifndef TOLEO_WORKLOAD_REQUEST_HH
+#define TOLEO_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/workload.hh"
+
+namespace toleo {
+
+/** Request interarrival process. */
+enum class ArrivalKind
+{
+    Closed,  ///< Degenerate closed loop: next request starts at once.
+    Poisson, ///< Exponential interarrivals at a fixed mean rate.
+    Burst,   ///< Lognormal interarrivals: mean rate + tunable CV.
+};
+
+/** Printable name of an arrival kind ("closed" / "poisson" / "burst"). */
+const char *arrivalKindName(ArrivalKind kind);
+
+/**
+ * Arrival-model configuration, carried by SystemConfig/SweepOptions.
+ * Rates are node-wide requests/second, split evenly across cores.
+ */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Closed;
+    /** Offered request rate, requests/second (node-wide). */
+    double ratePerSec = 0.0;
+    /** Burst only: coefficient of variation of the interarrival. */
+    double cv = 1.0;
+    /** Refs per request for generators with no request shape. */
+    std::uint64_t requestRefs = 64;
+    /** SLO latency threshold, microseconds. */
+    double sloUs = 100.0;
+
+    /** True when the run is open-loop (serving layer active). */
+    bool open() const { return kind != ArrivalKind::Closed; }
+};
+
+/**
+ * Parse an `--arrival` spec: "closed", "poisson:<rate>", or
+ * "burst:<rate>,<cv>".  On failure returns false and fills `err`;
+ * on success overwrites kind/ratePerSec/cv and leaves the other
+ * fields of `out` untouched.
+ */
+bool parseArrivalSpec(const std::string &spec, ArrivalConfig &out,
+                      std::string &err);
+
+/**
+ * Draw one interarrival gap in nanoseconds for a per-core arrival
+ * process of `ratePerSec` requests/second.  Deterministic given the
+ * Rng state; for a fixed seed the underlying uniform draws are
+ * rate-independent, so scaling the rate scales every gap by the same
+ * factor — the monotone-degradation property the acceptance tests pin.
+ */
+double drawInterarrivalNs(const ArrivalConfig &cfg, double ratePerSec,
+                          Rng &rng);
+
+/**
+ * A generator that plans whole requests and knows their lengths.
+ * Standalone (closed-loop) use never calls nextRequestLen(): next()
+ * plans lazily at the same points in the RNG stream, so the emitted
+ * refs are identical whether or not a RequestSource drives it.
+ */
+class RequestShapedGen : public TraceGen
+{
+  public:
+    using TraceGen::TraceGen;
+
+    /**
+     * Refs composing the next request (>= 1).  Called by
+     * RequestSource exactly when the previous request's refs have
+     * been fully consumed; plans the next request as a side effect.
+     */
+    virtual std::uint64_t nextRequestLen() = 0;
+};
+
+/**
+ * Transparent TraceGen wrapper that tracks request boundaries.
+ *
+ * nextBatch() forwards to the wrapped generator (in per-request
+ * segments, which is draw-identical for every generator in the tree:
+ * their nextBatch is defined as repeated next()), and records the
+ * batch-relative indices of refs that complete a request.  The System
+ * reads batchBoundaries() after each private-phase batch.
+ */
+class RequestSource : public TraceGen
+{
+  public:
+    /**
+     * Wrap `inner`.  If `inner` is request-shaped its own request
+     * lengths are used; otherwise the stream is sliced into
+     * fixed-size requests of `requestRefs` refs (must be >= 1).
+     */
+    RequestSource(std::unique_ptr<TraceGen> inner,
+                  std::uint64_t requestRefs);
+
+    MemRef next() override;
+    void nextBatch(MemRef *out, std::size_t n) override;
+
+    /**
+     * Batch-relative indices (ascending) of the refs that completed a
+     * request in the most recent nextBatch() call.
+     */
+    const std::vector<std::uint32_t> &batchBoundaries() const
+    {
+        return boundaries_;
+    }
+
+  private:
+    std::unique_ptr<TraceGen> inner_;
+    RequestShapedGen *shaped_ = nullptr; ///< inner_, when shaped.
+    std::uint64_t fixedRefs_;
+    std::uint64_t leftInRequest_ = 0;
+    std::vector<std::uint32_t> boundaries_;
+};
+
+} // namespace toleo
+
+#endif // TOLEO_WORKLOAD_REQUEST_HH

@@ -269,6 +269,88 @@ TEST(IntraThreadDeterminism, RackNodesSameBytesAcrossThreadCounts)
     EXPECT_EQ(one, eight);
 }
 
+namespace {
+
+/** An open-loop grid: request-shaped apps plus a classic mix
+ *  workload, all under a Poisson arrival process. */
+std::vector<SweepCell>
+openGrid()
+{
+    return makeSweepGrid({"kvs", "nat", "redis"},
+                         {EngineKind::NoProtect, EngineKind::Toleo});
+}
+
+SweepOptions
+openWindow(unsigned jobs, unsigned intra = 1)
+{
+    SweepOptions opts;
+    opts.cores = 8;
+    opts.warmupRefs = 1000;
+    opts.measureRefs = 3000;
+    opts.jobs = jobs;
+    opts.intraThreads = intra;
+    opts.arrival.kind = ArrivalKind::Poisson;
+    opts.arrival.ratePerSec = 2e6;
+    return opts;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Open-loop serving: the arrival overlay (per-request latency, SLO
+// attainment, the latency histogram) obeys the exact same determinism
+// contract as the rest of the stats -- fixed seed => byte-identical
+// serving block across runs, worker counts, and intra-cell pools.
+// ---------------------------------------------------------------------
+
+TEST(ServingDeterminism, SameSeedSameBytesAcrossRuns)
+{
+    const auto cells = openGrid();
+    const auto a = dumpAll(runSweep(cells, openWindow(1)));
+    const auto b = dumpAll(runSweep(cells, openWindow(1)));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << cells[i].workload << "/"
+                              << engineKindName(cells[i].engine);
+        // Not vacuous: every dump really carries a serving block.
+        EXPECT_NE(a[i].find("\"serving\""), std::string::npos);
+    }
+}
+
+TEST(ServingDeterminism, SameSeedSameBytesAcrossJobCounts)
+{
+    const auto cells = openGrid();
+    EXPECT_EQ(dumpAll(runSweep(cells, openWindow(1))),
+              dumpAll(runSweep(cells, openWindow(4))));
+}
+
+TEST(ServingDeterminism, SameSeedSameBytesAcrossIntraThreadCounts)
+{
+    // Request boundaries are staged in the parallel private phase but
+    // finalized in deterministic shared-phase round order, so the
+    // intra-cell pool size must be invisible here too.
+    const auto cells = openGrid();
+    EXPECT_EQ(dumpAll(runSweep(cells, openWindow(1, 1))),
+              dumpAll(runSweep(cells, openWindow(1, 8))));
+}
+
+TEST(ServingDeterminism, RackSameBytesAcrossRunsAndThreads)
+{
+    const auto cells =
+        makeSweepGrid({"kvs"}, {EngineKind::Toleo});
+    SweepOptions w = openWindow(1);
+    w.rackNodes = 2;
+    SweepOptions w8 = openWindow(1, 8);
+    w8.rackNodes = 2;
+    const auto a = dumpAllRacks(runRackSweep(cells, w));
+    const auto b = dumpAllRacks(runRackSweep(cells, w));
+    const auto c = dumpAllRacks(runRackSweep(cells, w8));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_NE(a[0].find("\"serving\""), std::string::npos);
+}
+
 TEST(SweepTiming, PhaseBreakdownReported)
 {
     const auto cells = smallGrid();

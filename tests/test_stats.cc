@@ -64,6 +64,117 @@ TEST(Histogram, Percentile)
     EXPECT_NEAR(h.percentile(0.9), 90.0, 2.0);
 }
 
+TEST(Histogram, PercentileIsExactNearestRank)
+{
+    // Degenerate sample counts used to fall through the cumulative
+    // walk (rank truncation returned hi_ for a single sample); the
+    // nearest-rank contract pins them down.
+    Histogram empty(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+    Histogram one(0.0, 10.0, 10);
+    one.sample(3.5);
+    // Every percentile of a single sample is that sample's bucket.
+    EXPECT_NEAR(one.percentile(0.0), 3.5, 0.5);
+    EXPECT_NEAR(one.percentile(0.5), 3.5, 0.5);
+    EXPECT_NEAR(one.percentile(1.0), 3.5, 0.5);
+
+    Histogram two(0.0, 10.0, 10);
+    two.sample(1.5);
+    two.sample(8.5);
+    // Nearest rank: p50 -> rank 1 (the low sample), p51+ -> rank 2.
+    EXPECT_NEAR(two.percentile(0.50), 1.5, 0.5);
+    EXPECT_NEAR(two.percentile(0.51), 8.5, 0.5);
+    EXPECT_NEAR(two.percentile(1.0), 8.5, 0.5);
+
+    Histogram equal(0.0, 10.0, 10);
+    for (int i = 0; i < 7; ++i)
+        equal.sample(4.2);
+    EXPECT_NEAR(equal.percentile(0.01), 4.2, 0.5);
+    EXPECT_NEAR(equal.percentile(0.99), 4.2, 0.5);
+}
+
+TEST(LatencyHistogram, ExactBelowSubCountAndTracksMinMax)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentileNs(0.5), 0.0);
+
+    h.sample(3.0);
+    h.sample(5.0);
+    h.sample(7.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.minNs(), 3.0);
+    EXPECT_DOUBLE_EQ(h.maxNs(), 7.0);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 5.0);
+    // Values below subCount land in exact 1-ns buckets, and the
+    // rank-1 / rank-count endpoints return the exact min and max.
+    EXPECT_DOUBLE_EQ(h.percentileNs(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentileNs(1.0), 7.0);
+    EXPECT_NEAR(h.percentileNs(0.5), 5.0, 1.0);
+}
+
+TEST(LatencyHistogram, LogBucketsBoundRelativeError)
+{
+    // 8 sub-buckets per octave bound the relative quantile error at
+    // ~12.5%; spot-check across several decades.
+    for (const double v : {100.0, 3333.0, 1e6, 4.2e9, 1e13}) {
+        LatencyHistogram h;
+        for (int i = 0; i < 100; ++i)
+            h.sample(v);
+        EXPECT_NEAR(h.percentileNs(0.5), v, v * 0.13) << v;
+    }
+}
+
+TEST(LatencyHistogram, PercentilesOrderedOnSkewedData)
+{
+    LatencyHistogram h;
+    // 1000 fast requests, 10 slow stragglers, 1 disaster.
+    for (int i = 0; i < 1000; ++i)
+        h.sample(1000.0);
+    for (int i = 0; i < 10; ++i)
+        h.sample(100000.0);
+    h.sample(5e7);
+    const double p50 = h.percentileNs(0.50);
+    const double p99 = h.percentileNs(0.99);
+    const double p999 = h.percentileNs(0.999);
+    EXPECT_NEAR(p50, 1000.0, 130.0);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_NEAR(p999, 100000.0, 13000.0);
+    EXPECT_DOUBLE_EQ(h.percentileNs(1.0), 5e7);
+}
+
+TEST(LatencyHistogram, ClampsOutOfRangeSamples)
+{
+    LatencyHistogram h;
+    h.sample(-5.0);  // negative clamps to 0
+    h.sample(1e300); // astronomical clamps to the top bucket
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.minNs(), 0.0);
+    EXPECT_GE(h.percentileNs(1.0), h.percentileNs(0.0));
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedSampling)
+{
+    LatencyHistogram a, b, all;
+    for (int i = 1; i <= 500; ++i) {
+        a.sample(i * 17.0);
+        all.sample(i * 17.0);
+    }
+    for (int i = 1; i <= 300; ++i) {
+        b.sample(i * 1003.0);
+        all.sample(i * 1003.0);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sumNs(), all.sumNs());
+    EXPECT_DOUBLE_EQ(a.minNs(), all.minNs());
+    EXPECT_DOUBLE_EQ(a.maxNs(), all.maxNs());
+    for (const double p : {0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.percentileNs(p), all.percentileNs(p)) << p;
+}
+
 TEST(StatGroup, CountersAndRatios)
 {
     StatGroup g("test");

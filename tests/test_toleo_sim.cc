@@ -290,6 +290,71 @@ TEST(ToleoSimBinary, CsvAndBadArgs)
     EXPECT_NE(std::system(bad.c_str()), 0);
 }
 
+TEST(ToleoSimBinary, OpenLoopServingCell)
+{
+    const std::string out =
+        ::testing::TempDir() + "/toleo_sim_serving.json";
+    const std::string cmd =
+        std::string("\"") + TOLEO_SIM_BIN +
+        "\" --workloads kvs --engines Toleo --cores 2"
+        " --warmup 500 --measure 2000 --arrival poisson:1e6"
+        " --slo-us 50 --quiet --out \"" + out + "\"";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good()) << "missing output file " << out;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    const Json doc = Json::parse(text.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    const Json *results = doc.get("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->size(), 1u);
+    const Json *sv = results->at(0).get("serving");
+    ASSERT_NE(sv, nullptr);
+    EXPECT_EQ(sv->get("arrival")->asString(), "poisson");
+    EXPECT_DOUBLE_EQ(sv->get("offeredRatePerSec")->asDouble(), 1e6);
+    EXPECT_DOUBLE_EQ(sv->get("sloUs")->asDouble(), 50.0);
+    EXPECT_GT(sv->get("requests")->asUint(), 0u);
+    EXPECT_GE(sv->get("sloAttainment")->asDouble(), 0.0);
+    EXPECT_LE(sv->get("sloAttainment")->asDouble(), 1.0);
+    const Json *pct = sv->get("latencyPercentilesUs");
+    ASSERT_NE(pct, nullptr);
+    EXPECT_LE(pct->get("p50Us")->asDouble(),
+              pct->get("p99Us")->asDouble());
+    std::remove(out.c_str());
+}
+
+TEST(ToleoSimBinary, ServingGuardsFailFast)
+{
+    const auto fails = [](const std::string &args) {
+        const std::string cmd = std::string("\"") + TOLEO_SIM_BIN +
+                                "\" " + args +
+                                " --quiet > /dev/null 2>&1";
+        return std::system(cmd.c_str()) != 0;
+    };
+    // Malformed arrival specs die at the parser, not mid-sweep.
+    EXPECT_TRUE(fails("--arrival bogus"));
+    EXPECT_TRUE(fails("--arrival poisson:0"));
+    EXPECT_TRUE(fails("--arrival poisson:inf"));
+    EXPECT_TRUE(fails("--arrival burst:1e6"));
+    EXPECT_TRUE(fails("--slo-us 0"));
+    EXPECT_TRUE(fails("--slo-us -3"));
+    // Open arrival excludes the closed-loop-only modes.
+    EXPECT_TRUE(fails("--arrival poisson:1e6 --bench"));
+    EXPECT_TRUE(fails("--arrival poisson:1e6 --record-trace x.trc"
+                      " --workloads kvs --engines Toleo"));
+    // --rack-service guards: inf and a bandwidth below the node link
+    // both fail at argument-validation speed (the latter used to
+    // surface as an std::invalid_argument deep inside runRack).
+    EXPECT_TRUE(fails("--rack 2 --rack-service inf --workloads bsw"
+                      " --engines Toleo"));
+    EXPECT_TRUE(fails("--rack 2 --rack-service 0.001 --workloads bsw"
+                      " --engines Toleo"));
+}
+
 TEST(ToleoSimBinary, BenchModeEmitsPerfRecord)
 {
     const std::string out =

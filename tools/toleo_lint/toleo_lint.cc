@@ -324,7 +324,7 @@ void
 ruleUnorderedIteration(const std::vector<SourceFile> &files, Linter &lint)
 {
     static const std::regex statsRe(
-        R"(\b(SimStats|RackStats|RackNodeStats|statsToJson|rackStatsToJson|statsCsvRow)\b)");
+        R"(\b(SimStats|RackStats|RackNodeStats|ServingStats|statsToJson|rackStatsToJson|servingStatsToJson|statsCsvRow)\b)");
     static const std::regex declRe(
         R"(unordered_(?:map|set)\s*<[^;{}()]*>\s+(\w+)\s*[;{=])");
     static const std::regex ptrKeyRe(
@@ -595,6 +595,8 @@ ruleStatsSerialization(const std::vector<SourceFile> &files, Linter &lint)
                           "rackStatsToJson", false);
     checkFieldsSerialized(files, lint, "RackStats", "rackStatsToJson",
                           false);
+    checkFieldsSerialized(files, lint, "ServingStats",
+                          "servingStatsToJson", false);
 }
 
 // ---------------------------------------------------------------------
@@ -854,6 +856,20 @@ selfTest()
            "}\n"
            "std::string statsCsvRow(const SimStats &stats) {\n"
            "    return std::to_string(stats.refs);\n"
+           "}\n"}}},
+        // The serving-stats serializer is covered by the same
+        // field-completeness sweep: a ServingStats field that
+        // servingStatsToJson() never touches must fire.
+        {"stats-serialization",
+         {{"src/bad2.hh", "struct ServingStats {\n"
+                          "    std::uint64_t requests = 0;\n"
+                          "    double droppedStat = 0.0;\n"
+                          "};\n"},
+          {"src/bad2.cc",
+           "Json servingStatsToJson(const ServingStats &stats) {\n"
+           "    Json j;\n"
+           "    j[\"requests\"] = stats.requests;\n"
+           "    return j;\n"
            "}\n"}}},
         {"include-convention",
          {{"src/bad.cc", "#include \"../sim/system.hh\"\n"}}},

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/sweep.hh"
+#include "workload/request_apps.hh"
 #include "workload/trace_file.hh"
 
 using namespace toleo;
@@ -95,6 +97,16 @@ usage(const char *argv0)
         "                    (JSON only; default: 1 = single node)\n"
         "  --rack-service G  shared-device service bandwidth in GB/s\n"
         "                    (default: 0 = auto, 1.5x the node link)\n"
+        "  --arrival SPEC    request arrival model: 'closed' (the\n"
+        "                    classic replay, default), 'poisson:RATE'\n"
+        "                    or 'burst:RATE,CV' with RATE in requests\n"
+        "                    per second per node.  Open models add a\n"
+        "                    per-request latency/SLO 'serving' block\n"
+        "                    to every cell without changing any other\n"
+        "                    statistic\n"
+        "  --slo-us X        latency SLO threshold in microseconds for\n"
+        "                    the serving block's attainment stat\n"
+        "                    (default: 100)\n"
         "  --format FMT      json or csv (default: json)\n"
         "  --out FILE        write results to FILE instead of stdout\n"
         "  --trace FILE      replay every cell's reference streams\n"
@@ -204,10 +216,28 @@ parseArgs(int argc, char **argv)
             const char *text = nextArg(argc, argv, i);
             char *end = nullptr;
             opts.sweep.rackServiceGBps = std::strtod(text, &end);
+            // >= 0.0 rejects NaN; isfinite rejects "inf", which
+            // strtod happily parses and runRack would otherwise only
+            // reject deep inside the sweep.
             if (end == text || *end != '\0' ||
+                !std::isfinite(opts.sweep.rackServiceGBps) ||
                 !(opts.sweep.rackServiceGBps >= 0.0))
-                fatal("--rack-service: expected a non-negative "
+                fatal("--rack-service: expected a finite non-negative "
                       "bandwidth in GB/s, got '%s'", text);
+        } else if (!std::strcmp(arg, "--arrival")) {
+            const char *text = nextArg(argc, argv, i);
+            std::string err;
+            if (!parseArrivalSpec(text, opts.sweep.arrival, err))
+                fatal("--arrival: %s", err.c_str());
+        } else if (!std::strcmp(arg, "--slo-us")) {
+            const char *text = nextArg(argc, argv, i);
+            char *end = nullptr;
+            opts.sweep.arrival.sloUs = std::strtod(text, &end);
+            if (end == text || *end != '\0' ||
+                !std::isfinite(opts.sweep.arrival.sloUs) ||
+                !(opts.sweep.arrival.sloUs > 0.0))
+                fatal("--slo-us: expected a positive latency in "
+                      "microseconds, got '%s'", text);
         } else if (!std::strcmp(arg, "--format")) {
             opts.format = nextArg(argc, argv, i);
             if (opts.format != "json" && opts.format != "csv")
@@ -223,6 +253,9 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(arg, "--list")) {
             std::printf("workloads:");
             for (const auto &w : paperWorkloads())
+                std::printf(" %s", w.c_str());
+            std::printf("\nrequest apps:");
+            for (const auto &w : requestAppWorkloads())
                 std::printf(" %s", w.c_str());
             std::printf("\nengines:  ");
             for (const EngineKind e : allEngineKinds())
@@ -591,6 +624,43 @@ main(int argc, char **argv)
         if (opts.format == "csv")
             fatal("--rack emits nested RackStats records; "
                   "--format csv is not supported in rack mode");
+        // Fail an under-provisioned explicit service bandwidth here,
+        // in milliseconds, instead of letting every cell throw the
+        // same std::invalid_argument deep inside runRack.  The node
+        // link bandwidth is a function of --cores only (the memory
+        // topology scales with the node), so one representative
+        // config answers for the whole grid.
+        if (opts.sweep.rackServiceGBps > 0.0) {
+            const double link =
+                makeScaledConfig("bsw", EngineKind::Toleo,
+                                 opts.sweep.cores)
+                    .mem.toleoLinkBandwidthGBps;
+            if (opts.sweep.rackServiceGBps < link)
+                fatal("--rack-service %.3f GB/s is below the %.3f "
+                      "GB/s Toleo link of a %u-core node; even an "
+                      "uncontended node would stall (pass 0 for "
+                      "auto)",
+                      opts.sweep.rackServiceGBps, link,
+                      opts.sweep.cores);
+        }
+    }
+
+    if (opts.sweep.arrival.open()) {
+        // The serving overlay never perturbs execution, so perf
+        // numbers would be valid -- but a bench record that differs
+        // only in its serving block invites apples-to-oranges
+        // speedup comparisons.  Keep the trajectory closed-loop.
+        if (opts.bench)
+            fatal("--bench tracks the closed-loop replay; "
+                  "--arrival %s is not supported in bench mode",
+                  arrivalKindName(opts.sweep.arrival.kind));
+        // Recording taps the raw generators; the request-boundary
+        // bookkeeping cannot see through the recording shim (and a
+        // capture is arrival-model-independent anyway).
+        if (!opts.sweep.recordTracePath.empty())
+            fatal("--record-trace captures the raw reference stream; "
+                  "record under the default closed arrival model and "
+                  "replay the capture open-loop instead");
     }
 
     const auto workloads = parseWorkloadList(opts.workloads);
