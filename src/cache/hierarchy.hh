@@ -126,6 +126,7 @@ class CacheHierarchy
      * Private half: L1 access, dirty-victim merge into L2, and the
      * L2 access on an L1 miss.  Touches only this core's caches.
      */
+    // toleo: phase(private)
     PrivateAccessResult
     accessPrivate(unsigned core, BlockNum blk, bool is_write)
     {
@@ -161,6 +162,7 @@ class CacheHierarchy
      * for an L2 miss.  Must run in global reference order; fills
      * res.memWritebacks / res.llcMiss exactly as access() does.
      */
+    // toleo: phase(shared)
     void
     accessShared(unsigned core, BlockNum blk,
                  const PrivateAccessResult &priv, HierarchyResult &res)
@@ -186,6 +188,7 @@ class CacheHierarchy
      * thread's caches.  No architectural state changes, so the
      * batching driver can issue it a few references ahead.
      */
+    // toleo: phase(private)
     void
     prefetchPrivate(unsigned core, BlockNum blk) const
     {
@@ -204,8 +207,13 @@ class CacheHierarchy
 
   private:
     CacheHierarchyConfig cfg_;
+    // toleo: state(per-core)
     std::vector<SetAssocCache> l1_;
+    // toleo: state(per-core)
     std::vector<SetAssocCache> l2_;
+    /** L3 slices are shared across the cores of a slice: only the
+     *  global-order shared replay may touch them. */
+    // toleo: state(shared)
     std::vector<SetAssocCache> l3_;
     /** Per-core slice index: avoids a runtime division per lookup. */
     std::vector<unsigned> l3SliceOf_;

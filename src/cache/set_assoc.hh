@@ -79,7 +79,15 @@ class SetAssocCache
      * block in sub-block strides -- needs no hash and no tag scan.
      * @param key Lookup key (block number, page number, ...).
      * @param is_write Marks the line dirty on hit or fill.
+     *
+     * The probe paths (access/touch/markDirtyIfPresent/prefetchSet)
+     * are annotated phase(private): L1/L2 instances are probed from
+     * the concurrent private phase, so everything they reach must be
+     * instance-local.  Shared-phase use of the same methods on L3 /
+     * MAC / stealth instances is always legal (shared code may call
+     * private-safe code; only the converse is a violation).
      */
+    // toleo: phase(private)
     CacheAccessResult
     access(std::uint64_t key, bool is_write)
     {
@@ -109,6 +117,7 @@ class SetAssocCache
      * must not displace the demand working set (e.g. version updates
      * for long-cold pages).
      */
+    // toleo: phase(private)
     bool
     touch(std::uint64_t key, bool mark_dirty)
     {
@@ -134,6 +143,7 @@ class SetAssocCache
      * One set scan where contains() + markDirty() would take two.
      * Like contains(), does not touch LRU state or statistics.
      */
+    // toleo: phase(private)
     bool
     markDirtyIfPresent(std::uint64_t key)
     {
@@ -219,6 +229,7 @@ class SetAssocCache
      * Pure performance hint: no architectural state changes, so the
      * batching driver can issue these ahead of the access loop.
      */
+    // toleo: phase(private)
     void
     prefetchSet(std::uint64_t key) const
     {

@@ -104,7 +104,7 @@ gibBytes(double gib)
     // range; everything the tables use is far below either bound.
     const double bytes = gib < 0.0 ? 0.0 : gib * 0x1p30;
     const double capped = bytes < 0x1p62 ? bytes : 0x1p62;
-    return static_cast<std::uint64_t>(capped); // toleo-lint: allow(unclamped-cast)
+    return static_cast<std::uint64_t>(capped);
 }
 
 } // namespace toleo

@@ -47,10 +47,17 @@ class ProtectionEngine
     {}
     virtual ~ProtectionEngine() = default;
 
-    /** A block is being fetched from memory into the LLC. */
+    /** A block is being fetched from memory into the LLC.
+     *  Engines mutate genuinely shared state (topology channels,
+     *  stat counters, version stores), so the request hooks are
+     *  phase(shared): they may only run from the single-threaded
+     *  replay, never from a concurrent private-phase body.  The
+     *  annotation on the base covers every engine override. */
+    // toleo: phase(shared)
     virtual MetaCost onRead(BlockNum blk) = 0;
 
     /** A dirty block is being written back from the LLC to memory. */
+    // toleo: phase(shared)
     virtual MetaCost onWriteback(BlockNum blk) = 0;
 
     /** Does this engine guarantee confidentiality? */
@@ -68,7 +75,9 @@ class ProtectionEngine
 
   protected:
     std::string name_;
+    // toleo: state(shared)
     MemTopology &topo_;
+    // toleo: state(shared)
     StatGroup stats_;
 
     /** Core cycles -> ns at the 2.25 GHz simulated clock (Table 3). */

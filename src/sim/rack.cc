@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "toleo/ide_channel.hh"
@@ -223,6 +224,36 @@ rackStatsToJson(const RackStats &stats)
     if (!stats.serving.arrival.empty())
         j["serving"] = servingStatsToJson(stats.serving);
     return j;
+}
+
+std::string
+rackCsvHeader()
+{
+    return "node," + statsCsvHeader() +
+           ",deviceRequests,toleoLinkBytes,contentionStallNs,"
+           "peakBacklogBytes,stalledEpochs,peakEpochRequests,"
+           "epochs,saturatedEpochs,deviceServiceGBps,"
+           "deviceGrantedBytes,devicePeakBacklogBytes,"
+           "downgradePressure,spaceRejections,sharedTouchedPages,"
+           "sharedDynamicPeakBytes";
+}
+
+std::string
+rackCsvRow(const RackStats &stats, std::size_t node)
+{
+    const RackNodeStats &ns = stats.nodes.at(node);
+    std::ostringstream os;
+    os << node << ',' << statsCsvRow(ns.sim) << ','
+       << ns.deviceRequests << ',' << ns.toleoLinkBytes << ','
+       << ns.contentionStallNs << ',' << ns.peakBacklogBytes << ','
+       << ns.stalledEpochs << ',' << ns.peakEpochRequests << ','
+       << stats.epochs << ',' << stats.saturatedEpochs << ','
+       << stats.deviceServiceGBps << ',' << stats.deviceGrantedBytes
+       << ',' << stats.devicePeakBacklogBytes << ','
+       << stats.downgradePressure << ',' << stats.spaceRejections
+       << ',' << stats.sharedTouchedPages << ','
+       << stats.sharedDynamicPeakBytes;
+    return os.str();
 }
 
 } // namespace toleo

@@ -145,6 +145,20 @@ RackStats runRack(const RackConfig &cfg);
  */
 Json rackStatsToJson(const RackStats &stats);
 
+/**
+ * Flat CSV view of a rack run, one row per node: the node index, the
+ * node's full single-sim CSV columns (statsCsvHeader order), its
+ * device-contention counters, and the rack-level device/store scalars
+ * (identical on every row of one record, so a concatenated multi-cell
+ * sweep still selects/aggregates with plain column filters).  The
+ * rack-level serving aggregate stays JSON-only: its percentiles come
+ * from merged histograms and have no per-node row to live on.
+ */
+std::string rackCsvHeader();
+
+/** One CSV row for stats.nodes[node]; no trailing newline. */
+std::string rackCsvRow(const RackStats &stats, std::size_t node);
+
 } // namespace toleo
 
 #endif // TOLEO_SIM_RACK_HH

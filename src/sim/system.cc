@@ -281,7 +281,12 @@ System::privateCore(unsigned core, std::uint64_t rounds)
             if (stage)
                 stage->push_back(page);
             else
-                footprint_.insert(page);
+                // Justified shared touch: this branch only runs when
+                // intraPool_ is null, i.e. the private phase is
+                // single-threaded, so the direct insert cannot race.
+                // The pooled path stages per core (above) and merges
+                // in stepRounds.
+                footprint_.insert(page); // toleo-lint: allow(phase-safety)
         }
         if (priv.needsShared()) {
             evs[nev].round = static_cast<std::uint32_t>(k);
@@ -907,9 +912,11 @@ statsCsvHeader()
            "stealthBpi,dummyBpi,macCacheHitRate,stealthCacheHitRate,"
            "tripFlatPages,tripUnevenPages,tripFullPages,"
            "toleoPeakUsageBytes,avgEntryBytesPerPage,toleoResets,"
-           "toleoUpgrades,arrival,servedRequests,offeredRps,"
-           "completedRps,goodputRps,sloAttainment,p50LatencyUs,"
-           "p99LatencyUs,p999LatencyUs";
+           "toleoUpgrades,arrival,offeredRatePerSec,sloUs,"
+           "servedRequests,sloMet,spanSeconds,offeredRps,"
+           "completedRps,goodputRps,sloAttainment,meanLatencyUs,"
+           "meanQueueUs,meanServiceUs,p50LatencyUs,p99LatencyUs,"
+           "p999LatencyUs,maxLatencyUs";
 }
 
 std::string
@@ -931,14 +938,20 @@ statsCsvRow(const SimStats &stats)
        << ',' << stats.toleoUpgrades << ','
        << (stats.serving.arrival.empty() ? "closed"
                                          : stats.serving.arrival)
-       << ',' << stats.serving.requests << ','
-       << stats.serving.offeredRps << ','
+       << ',' << stats.serving.offeredRatePerSec << ','
+       << stats.serving.sloUs << ',' << stats.serving.requests << ','
+       << stats.serving.sloMet << ',' << stats.serving.spanSeconds
+       << ',' << stats.serving.offeredRps << ','
        << stats.serving.completedRps << ','
        << stats.serving.goodputRps << ','
        << stats.serving.sloAttainment << ','
+       << stats.serving.meanLatencyUs << ','
+       << stats.serving.meanQueueUs << ','
+       << stats.serving.meanServiceUs << ','
        << stats.serving.p50LatencyUs << ','
        << stats.serving.p99LatencyUs << ','
-       << stats.serving.p999LatencyUs;
+       << stats.serving.p999LatencyUs << ','
+       << stats.serving.maxLatencyUs;
     return os.str();
 }
 

@@ -341,14 +341,24 @@ class System
     ToleoDevice *device() { return devp_; }
 
   private:
+    // Phase-safety annotations (checked by toleo_lint's phase-safety
+    // pass, tools/toleo_lint/phase_safety.hh): state(shared) members
+    // may only be mutated by the single-threaded shared replay;
+    // state(per-core) members are indexed/partitioned by core id and
+    // safe for the concurrent private phase.  hierarchy_ carries its
+    // discipline internally (CacheHierarchy splits l1_/l2_ from l3_).
     SystemConfig cfg_;
+    // toleo: state(shared)
     MemTopology topo_;
     CacheHierarchy hierarchy_;
     std::unique_ptr<ToleoDevice> device_; ///< owned (single-node)
+    // toleo: state(shared)
     ToleoDevice *devp_ = nullptr; ///< owned or cfg_.sharedDevice
+    // toleo: state(shared)
     std::unique_ptr<ProtectionEngine> engine_;
     InvisiMemEngine *invisimem_ = nullptr; ///< borrowed, epoch hook
     ToleoEngine *toleoEngine_ = nullptr;   ///< borrowed, stats
+    // toleo: state(per-core)
     std::vector<std::unique_ptr<TraceGen>> gens_;
     WorkloadInfo winfo_;
 
@@ -358,19 +368,28 @@ class System
     std::unique_ptr<TraceWriter> traceWriter_;
 
     /** Per-core progress. */
+    // toleo: state(per-core)
     std::vector<std::uint64_t> coreInsts_;
+    /** Stall clocks are charged only by the shared replay (and rack
+     *  backpressure), never by the private phase. */
+    // toleo: state(shared)
     std::vector<double> coreStallNs_;
 
     /** Pages touched by any reference (the simulated RSS). */
+    // toleo: state(shared)
     PageFootprint footprint_;
+    // toleo: state(shared)
     std::uint64_t writebacks_ = 0;
+    // toleo: state(shared)
     std::uint64_t metaBytes_ = 0;
 
+    // toleo: state(shared)
     ReadLatencyStats readLat_;
 
     /** Per-core reference batches for stepRounds (generation phase
      *  and simulation phase run over this, not through per-ref
      *  virtual calls). */
+    // toleo: state(per-core)
     std::vector<MemRef> refBuf_;
 
     /** One queued piece of shared work (L3/memory/engine). */
@@ -381,8 +400,11 @@ class System
     };
     /** Per-core queues of shared events, in increasing round order;
      *  most references are served privately and queue nothing. */
+    // toleo: state(per-core)
     std::vector<SharedEvent> evBuf_;
+    // toleo: state(per-core)
     std::vector<std::uint32_t> evCount_;
+    // toleo: state(per-core)
     std::vector<std::uint32_t> evPos_;
 
     /** Rounds of references buffered per core in one sub-batch. */
@@ -402,6 +424,7 @@ class System
      * so the merged footprint is identical to the historical inline
      * inserts for any thread count.
      */
+    // toleo: state(per-core)
     std::vector<std::vector<PageNum>> footprintStage_;
 
     /** Phase wall-time accumulators (cfg_.phaseTimers only). */
@@ -434,13 +457,21 @@ class System
     bool serving_ = false;
     double sloNs_ = 0.0;
     double perCoreRate_ = 0.0;
+    // toleo: state(per-core)
     std::vector<RequestSource *> reqSrcs_; ///< borrowed views of gens_
+    // toleo: state(per-core)
     std::vector<ServingCore> servCores_;
+    // toleo: state(shared)
     LatencyHistogram servLatency_;
+    // toleo: state(shared)
     double servLatSumNs_ = 0.0;
+    // toleo: state(shared)
     double servQueueSumNs_ = 0.0;
+    // toleo: state(shared)
     double servSvcSumNs_ = 0.0;
+    // toleo: state(shared)
     std::uint64_t servRequests_ = 0;
+    // toleo: state(shared)
     std::uint64_t servSloMet_ = 0;
 
     /** State of the in-flight epoch-steppable run (see beginRun). */
@@ -454,14 +485,19 @@ class System
     std::uint64_t runSampleEvery_ = 1;
     bool runMeasuring_ = false;
     bool runActive_ = false;
+    // toleo: state(shared)
     SimStats runStats_;
 
     /** Per-epoch observables for the rack arbiter. */
+    // toleo: state(shared)
     std::uint64_t epochToleoBytes_ = 0;
+    // toleo: state(shared)
     double epochWallNs_ = 0.0;
+    // toleo: state(shared)
     std::uint64_t epochsCompleted_ = 0;
 
     /** Shared-state part of one reference: L3, memory, engine. */
+    // toleo: phase(shared)
     void stepShared(unsigned core, const MemRef &ref,
                     const PrivateAccessResult &priv);
     /**
@@ -481,6 +517,7 @@ class System
      * footprint staging.  Touches only core-indexed state, so
      * stepRounds may run it for different cores concurrently.
      */
+    // toleo: phase(private)
     void privateCore(unsigned core, std::uint64_t rounds);
     double coreTimeNs(unsigned core) const;
     double maxCoreTimeNs() const;
@@ -489,13 +526,16 @@ class System
      * shared work of the round has been replayed, so the boundary
      * core's stall clock is final for that point in time.
      */
+    // toleo: phase(shared)
     void finalizeServingRound(std::uint64_t k);
     /** Lindley-recursion completion of one request on @p core. */
+    // toleo: phase(shared)
     void completeRequest(unsigned core, std::uint64_t instsAtDone);
     /** Zero the serving accumulators and per-core overlay state. */
     void resetServing();
     void resetMeasurement();
     /** Close the current traffic epoch (padding, bandwidth floor). */
+    // toleo: phase(shared)
     void epochBoundary();
     /** Rounds until the next epoch boundary is due. */
     std::uint64_t roundsToEpoch() const;

@@ -50,13 +50,20 @@ class ToleoDevice
   public:
     explicit ToleoDevice(const ToleoDeviceConfig &cfg);
 
-    /** READ request: current stealth version of a block. */
+    /** READ request: current stealth version of a block.
+     *  The device is one shared instance (per node, or per rack with
+     *  multiple initiators); requests are issued strictly in the
+     *  global replay order, so the request handlers are
+     *  phase(shared). */
+    // toleo: phase(shared)
     std::uint64_t read(BlockNum blk);
 
     /** UPDATE request: increment and return the new version state. */
+    // toleo: phase(shared)
     TripUpdateResult update(BlockNum blk);
 
     /** RESET request (host OS page free/remap downgrade). */
+    // toleo: phase(shared)
     void reset(PageNum page);
 
     /** Full 64-bit version (host-side view: UV ‖ stealth). */
@@ -149,7 +156,9 @@ class ToleoDevice
 
   private:
     ToleoDeviceConfig cfg_;
+    // toleo: state(shared)
     TripStore store_;
+    // toleo: state(shared)
     StatGroup stats_;
 
     /** Counters resolved once; per-request map lookups are hot. */
@@ -160,6 +169,7 @@ class ToleoDevice
     Counter &spaceRejectionsCtr_;
     Counter &resetReqsCtr_;
 
+    // toleo: state(shared)
     std::uint64_t peakUsage_ = 0;
 
     struct Initiator
@@ -183,10 +193,14 @@ class ToleoDevice
     }
     [[noreturn]] void rangePanic(PageNum page) const;
     /** Initiator 0 (the classic single-node owner) always exists. */
+    // toleo: state(shared)
     std::vector<Initiator> initiators_{1};
+    // toleo: state(shared)
     unsigned active_ = 0;
     /** Cached offsets of the active initiator (hot request path). */
+    // toleo: state(shared)
     std::uint64_t activePageOff_ = 0;
+    // toleo: state(shared)
     std::uint64_t activeBlockOff_ = 0;
 
     void

@@ -55,10 +55,16 @@ class StealthCache
      * @param blk The data block being filled or written back.
      * @param fmt The page's current Trip format.
      * @param is_update Version update (marks entries dirty).
+     *
+     * The stealth caches sit beside the (shared) LLC and are probed
+     * per miss during the global-order replay, so the mutating entry
+     * points are phase(shared).
      */
+    // toleo: phase(shared)
     StealthLookup access(BlockNum blk, TripFormat fmt, bool is_update);
 
     /** Drop a page's overflow entries (downgrade/reset/free). */
+    // toleo: phase(shared)
     void invalidatePage(PageNum page);
 
     /** Read-path (LLC-miss) hits: what Figure 7 reports. */
@@ -81,15 +87,22 @@ class StealthCache
   private:
     StealthCacheConfig cfg_;
     /** Fully associative TLB extension, keyed by page number. */
+    // toleo: state(shared)
     SetAssocCache tlb_;
     /** Overflow buffer keyed by (page << 2) | 56B-chunk index. */
+    // toleo: state(shared)
     SetAssocCache overflow_;
     /** Update write-combining buffer (page-granular, FIFO-LRU). */
+    // toleo: state(shared)
     SetAssocCache combine_;
 
+    // toleo: state(shared)
     std::uint64_t hits_ = 0;
+    // toleo: state(shared)
     std::uint64_t misses_ = 0;
+    // toleo: state(shared)
     std::uint64_t updateHits_ = 0;
+    // toleo: state(shared)
     std::uint64_t updateMisses_ = 0;
 
     std::uint64_t overflowKey(PageNum page, unsigned chunk) const;

@@ -97,7 +97,10 @@ class RequestShapedGen : public TraceGen
      * Refs composing the next request (>= 1).  Called by
      * RequestSource exactly when the previous request's refs have
      * been fully consumed; plans the next request as a side effect.
+     * Called from RequestSource's draw path, so it runs in the
+     * concurrent private phase like next()/nextBatch().
      */
+    // toleo: phase(private)
     virtual std::uint64_t nextRequestLen() = 0;
 };
 

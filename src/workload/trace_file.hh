@@ -101,6 +101,10 @@ class TraceWriter
         Addr prevAddr = 0;
     };
 
+    /** One stream per source core; RecordingTraceGen appends to its
+     *  own stream only, so concurrent private-phase capture stays
+     *  disjoint. */
+    // toleo: state(per-core)
     std::vector<Stream> streams_;
     std::string workload_;
     std::uint64_t seed_;

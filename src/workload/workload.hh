@@ -56,7 +56,11 @@ class TraceGen
     explicit TraceGen(WorkloadInfo info) : info_(std::move(info)) {}
     virtual ~TraceGen() = default;
 
-    /** Produce the next reference. */
+    /** Produce the next reference.  Generators are per-core
+     *  instances, so the draw paths run in the concurrent private
+     *  phase; the phase(private) annotations cover every override
+     *  (toleo_lint fans a virtual root out over the index). */
+    // toleo: phase(private)
     virtual MemRef next() = 0;
 
     /**
@@ -64,6 +68,7 @@ class TraceGen
      * sequence n calls to next() would yield.  Generators override
      * this to amortize the virtual dispatch over a whole batch.
      */
+    // toleo: phase(private)
     virtual void
     nextBatch(MemRef *out, std::size_t n)
     {

@@ -163,6 +163,54 @@ TEST(Rack, InvalidConfigsThrow)
     EXPECT_THROW(runRackSweep(cell, opts), TraceError);
 }
 
+namespace {
+
+std::size_t
+commas(const std::string &s)
+{
+    std::size_t n = 0;
+    for (char c : s)
+        n += c == ',' ? 1u : 0u;
+    return n;
+}
+
+} // namespace
+
+TEST(Rack, CsvRowsMatchHeaderAndDenormalizeRackScalars)
+{
+    RackStats stats;
+    stats.nodes.resize(2);
+    stats.nodes[0].sim.workload = "bsw";
+    stats.nodes[0].sim.engine = "toleo";
+    stats.nodes[1].sim.workload = "bsw";
+    stats.nodes[1].sim.engine = "toleo";
+    stats.nodes[1].deviceRequests = 7;
+    stats.epochs = 11;
+    stats.deviceServiceGBps = 3.5;
+
+    // Every row lines up with the header, column for column.
+    const std::string header = rackCsvHeader();
+    const std::string r0 = rackCsvRow(stats, 0);
+    const std::string r1 = rackCsvRow(stats, 1);
+    EXPECT_EQ(commas(header), commas(r0));
+    EXPECT_EQ(commas(header), commas(r1));
+
+    // The node index is the first column; the single-sim columns are
+    // embedded unchanged.
+    EXPECT_EQ(r0.rfind("0,", 0), 0u);
+    EXPECT_EQ(r1.rfind("1,", 0), 0u);
+    EXPECT_NE(r0.find(statsCsvRow(stats.nodes[0].sim)),
+              std::string::npos);
+
+    // Rack-level scalars are denormalized onto every node row, so a
+    // concatenated sweep stays filterable without a join.
+    EXPECT_NE(r0.find(",11,"), std::string::npos);
+    EXPECT_NE(r1.find(",11,"), std::string::npos);
+    EXPECT_NE(r1.find(",3.5,"), std::string::npos);
+
+    EXPECT_THROW(rackCsvRow(stats, 2), std::out_of_range);
+}
+
 #ifdef TOLEO_RACK_GOLDEN
 
 TEST(RackGolden, FourNodeFixedSeedStatsArePinned)

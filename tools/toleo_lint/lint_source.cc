@@ -1,0 +1,174 @@
+#include "tools/toleo_lint/lint_source.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace toleo_lint {
+
+std::size_t
+SourceFile::lineOfOffset(std::size_t off) const
+{
+    auto it =
+        std::upper_bound(lineOffset.begin(), lineOffset.end(), off);
+    return static_cast<std::size_t>(it - lineOffset.begin());
+}
+
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    enum class St { Code, Line, Block, Str, Chr, Raw };
+    St st = St::Code;
+    std::string rawDelim;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                out += "  ";
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                out += "  ";
+                ++i;
+            } else if (c == 'R' && n == '"' &&
+                       (i == 0 || (!std::isalnum(static_cast<unsigned
+                                                     char>(text[i - 1])) &&
+                                   text[i - 1] != '_'))) {
+                // R"delim( ... )delim"
+                std::size_t p = i + 2;
+                rawDelim.clear();
+                while (p < text.size() && text[p] != '(')
+                    rawDelim += text[p++];
+                rawDelim = ")" + rawDelim + "\"";
+                st = St::Raw;
+                out += "R\"";
+                out.append(p - (i + 1), ' ');
+                i = p; // at '('
+            } else if (c == '"') {
+                st = St::Str;
+                out += c;
+            } else if (c == '\'') {
+                st = St::Chr;
+                out += c;
+            } else {
+                out += c;
+            }
+            break;
+        case St::Line:
+            if (c == '\n') {
+                st = St::Code;
+                out += c;
+            } else {
+                out += ' ';
+            }
+            break;
+        case St::Block:
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                out += "  ";
+                ++i;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        case St::Str:
+            if (c == '\\') {
+                out += "  ";
+                ++i;
+            } else if (c == '"') {
+                st = St::Code;
+                out += c;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\') {
+                out += "  ";
+                ++i;
+            } else if (c == '\'') {
+                st = St::Code;
+                out += c;
+            } else {
+                out += ' ';
+            }
+            break;
+        case St::Raw:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                out += rawDelim;
+                i += rawDelim.size() - 1;
+                st = St::Code;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+SourceFile
+makeSourceFile(std::string display, const std::string &text)
+{
+    SourceFile sf;
+    sf.path = std::move(display);
+    sf.raw = splitLines(text);
+    sf.joined = stripCommentsAndStrings(text);
+    sf.code = splitLines(sf.joined);
+    sf.lineOffset.reserve(sf.code.size());
+    std::size_t off = 0;
+    for (const auto &l : sf.code) {
+        sf.lineOffset.push_back(off);
+        off += l.size() + 1;
+    }
+
+    // Parse suppression comments from the raw text: an allow() on a
+    // line covers that line and the next, so a comment line can
+    // annotate the declaration below it.
+    static const std::regex allowRe(
+        "toleo-lint:\\s*allow\\(([A-Za-z0-9_, -]+)\\)");
+    for (std::size_t i = 0; i < sf.raw.size(); ++i) {
+        for (auto it = std::sregex_iterator(sf.raw[i].begin(),
+                                            sf.raw[i].end(), allowRe);
+             it != std::sregex_iterator(); ++it) {
+            std::stringstream ss((*it)[1].str());
+            std::string rule;
+            while (std::getline(ss, rule, ',')) {
+                rule.erase(0, rule.find_first_not_of(" \t"));
+                rule.erase(rule.find_last_not_of(" \t") + 1);
+                if (rule.empty())
+                    continue;
+                sf.allow[i + 1].emplace(rule, i + 1);
+                sf.allow[i + 2].emplace(rule, i + 1);
+                sf.allowSites.push_back({i + 1, rule});
+            }
+        }
+    }
+    return sf;
+}
+
+} // namespace toleo_lint

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared substrate of the toleo_lint analyses: the per-file record
+ * (raw text, comment/string-stripped text, line offsets), the
+ * suppression-comment parser, and the finding sink.
+ *
+ * Split out of toleo_lint.cc so the phase-safety analysis
+ * (phase_safety.hh) and its unit tests (tests/test_lint_phase.cc) can
+ * build SourceFiles from string literals without dragging in the rule
+ * tables or the filesystem walker.
+ */
+
+#ifndef TOLEO_LINT_SOURCE_HH
+#define TOLEO_LINT_SOURCE_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace toleo_lint {
+
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** One scanned translation unit: raw text, stripped text, and the
+ *  per-line suppression sets parsed from toleo-lint comments. */
+struct SourceFile
+{
+    std::string path; ///< display path (relative to the scan root)
+    std::vector<std::string> raw;
+    /** Comment and string-literal contents blanked, line structure
+     *  preserved, so rules never fire on prose or log messages. */
+    std::vector<std::string> code;
+    /** code lines joined with '\n' (for multi-line regex scans). */
+    std::string joined;
+    /** Byte offset of each line within joined. */
+    std::vector<std::size_t> lineOffset;
+    /** line -> rule -> line of the allow() comment granting it. */
+    std::map<std::size_t, std::map<std::string, std::size_t>> allow;
+
+    /** One allow() grant as written (for unused-suppression). */
+    struct AllowSite
+    {
+        std::size_t line = 0;
+        std::string rule;
+    };
+    std::vector<AllowSite> allowSites;
+
+    bool
+    allowed(std::size_t line, const std::string &rule) const
+    {
+        auto it = allow.find(line);
+        return it != allow.end() && it->second.count(rule);
+    }
+
+    std::size_t
+    lineOfOffset(std::size_t off) const;
+};
+
+/** Blank comments and string/char literal contents, preserving line
+ *  breaks so findings keep their line numbers. */
+std::string stripCommentsAndStrings(const std::string &text);
+
+std::vector<std::string> splitLines(const std::string &text);
+
+SourceFile makeSourceFile(std::string display, const std::string &text);
+
+/**
+ * Finding sink.  emit() drops findings suppressed by an adjacent
+ * `// toleo-lint: allow(<rule>)` comment and remembers which allow()
+ * grants earned their keep, so the unused-suppression pass can report
+ * the ones that suppressed nothing.
+ */
+class Linter
+{
+  public:
+    void
+    emit(const SourceFile &sf, std::size_t line, const std::string &rule,
+         const std::string &message)
+    {
+        auto it = sf.allow.find(line);
+        if (it != sf.allow.end()) {
+            auto rit = it->second.find(rule);
+            if (rit != it->second.end()) {
+                usedAllows.insert({sf.path, rit->second, rule});
+                return;
+            }
+        }
+        findings.push_back({sf.path, line, rule, message});
+    }
+
+    bool
+    allowUsed(const SourceFile &sf, const SourceFile::AllowSite &site) const
+    {
+        return usedAllows.count({sf.path, site.line, site.rule}) != 0;
+    }
+
+    std::vector<Finding> findings;
+
+  private:
+    /** (path, allow-comment line, rule) grants that suppressed
+     *  at least one finding. */
+    std::set<std::tuple<std::string, std::size_t, std::string>>
+        usedAllows;
+};
+
+} // namespace toleo_lint
+
+#endif // TOLEO_LINT_SOURCE_HH

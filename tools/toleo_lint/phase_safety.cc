@@ -1,0 +1,1669 @@
+#include "tools/toleo_lint/phase_safety.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <regex>
+
+namespace toleo_lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isKeyword(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "alignas",      "alignof",  "asm",
+        "auto",         "bool",     "break",
+        "case",         "catch",    "char",
+        "class",        "const",    "constexpr",
+        "const_cast",   "continue", "decltype",
+        "default",      "delete",   "do",
+        "double",       "dynamic_cast", "else",
+        "enum",         "explicit", "extern",
+        "false",        "final",    "float",
+        "for",          "friend",   "goto",
+        "if",           "inline",   "int",
+        "long",         "mutable",  "namespace",
+        "new",          "noexcept", "nullptr",
+        "operator",     "override", "private",
+        "protected",    "public",   "register",
+        "reinterpret_cast", "return", "short",
+        "signed",       "sizeof",   "static",
+        "static_assert", "static_cast", "struct",
+        "switch",       "template", "this",
+        "throw",        "true",     "try",
+        "typedef",      "typeid",   "typename",
+        "union",        "unsigned", "using",
+        "virtual",      "void",     "volatile",
+        "wchar_t",      "while"};
+    return kw.count(s) != 0;
+}
+
+bool
+isCastKeyword(const std::string &s)
+{
+    return s == "const_cast" || s == "static_cast" ||
+           s == "reinterpret_cast" || s == "dynamic_cast";
+}
+
+bool
+isAssignOp(const std::string &s)
+{
+    static const std::set<std::string> ops = {
+        "=",  "+=", "-=",  "*=",  "/=", "%=",
+        "&=", "|=", "^=", "<<=", ">>="};
+    return ops.count(s) != 0;
+}
+
+bool
+isMacroLike(const std::string &s)
+{
+    if (s.size() < 2)
+        return false;
+    bool letter = false;
+    for (char c : s) {
+        if (std::islower(static_cast<unsigned char>(c)))
+            return false;
+        if (std::isupper(static_cast<unsigned char>(c)))
+            letter = true;
+    }
+    return letter;
+}
+
+/** Contribution of a token to template-angle depth. */
+int
+angleDelta(const std::string &t)
+{
+    if (t == "<")
+        return 1;
+    if (t == ">")
+        return -1;
+    if (t == ">>")
+        return -2;
+    return 0;
+}
+
+using Toks = std::vector<Token>;
+
+/** Index of the matching close for the open bracket at @p i (forward). */
+std::size_t
+matchForward(const Toks &t, std::size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < t.size(); ++j) {
+        if (t[j].text == open)
+            ++depth;
+        else if (t[j].text == close && --depth == 0)
+            return j;
+    }
+    return t.size();
+}
+
+/** Index of the matching open for the close bracket at @p i (backward);
+ *  returns npos on failure. */
+std::size_t
+matchBackward(const Toks &t, std::size_t i, const char *open,
+              const char *close)
+{
+    int depth = 0;
+    for (std::size_t j = i;; --j) {
+        if (t[j].text == close)
+            ++depth;
+        else if (t[j].text == open && --depth == 0)
+            return j;
+        if (j == 0)
+            break;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+/** Walk backward over a template-argument list ending with the `>` (or
+ *  `>>`) at @p i; returns the index of the opening `<`, or npos. */
+std::size_t
+matchAnglesBackward(const Toks &t, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i;; --j) {
+        const std::string &s = t[j].text;
+        if (s == ">")
+            ++depth;
+        else if (s == ">>")
+            depth += 2;
+        else if (s == "<" && --depth == 0)
+            return j;
+        else if (s == "<<")
+            depth -= 2;
+        if (depth <= 0 && s == "<")
+            return j;
+        if (j == 0)
+            break;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+std::vector<Token>
+tokenize(const SourceFile &sf)
+{
+    static const char *three[] = {"<<=", ">>=", "->*", "..."};
+    static const char *two[] = {"::", "->", "++", "--", "+=", "-=",
+                                "*=", "/=", "%=", "&=", "|=", "^=",
+                                "==", "!=", "<=", ">=", "&&", "||",
+                                "<<", ">>"};
+    const std::string &s = sf.joined;
+    std::vector<Token> out;
+    std::size_t line = 1;
+    bool atLineStart = true;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        const char c = s[i];
+        if (c == '\n') {
+            ++line;
+            atLineStart = true;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '#' && atLineStart) {
+            // Preprocessor directive: skip to end of line, honoring
+            // backslash continuations.
+            while (i < s.size()) {
+                if (s[i] == '\n') {
+                    const bool cont = i > 0 && s[i - 1] == '\\';
+                    ++line;
+                    ++i;
+                    if (!cont)
+                        break;
+                } else {
+                    ++i;
+                }
+            }
+            atLineStart = true;
+            continue;
+        }
+        atLineStart = false;
+        if (isIdentStart(c)) {
+            std::size_t j = i + 1;
+            while (j < s.size() && isIdentChar(s[j]))
+                ++j;
+            out.push_back({Token::Kind::Ident, s.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < s.size() &&
+                   (isIdentChar(s[j]) || s[j] == '.' || s[j] == '\''))
+                ++j;
+            out.push_back({Token::Kind::Number, s.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        bool matched = false;
+        for (const char *op : three) {
+            if (s.compare(i, 3, op) == 0) {
+                out.push_back({Token::Kind::Punct, op, line});
+                i += 3;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        for (const char *op : two) {
+            if (s.compare(i, 2, op) == 0) {
+                out.push_back({Token::Kind::Punct, op, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        out.push_back({Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// CodeIndex lookups
+// ---------------------------------------------------------------------
+
+const MemberInfo *
+CodeIndex::findMember(const std::string &cls, const std::string &name) const
+{
+    auto it = members.find(cls + "::" + name);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+const MemberInfo *
+CodeIndex::findMemberInherited(const std::string &cls,
+                               const std::string &name) const
+{
+    std::set<std::string> seen;
+    std::deque<std::string> q = {cls};
+    while (!q.empty()) {
+        const std::string c = q.front();
+        q.pop_front();
+        if (!seen.insert(c).second)
+            continue;
+        if (const MemberInfo *m = findMember(c, name))
+            return m;
+        auto it = classes.find(c);
+        if (it != classes.end())
+            for (const auto &b : it->second.bases)
+                q.push_back(b);
+    }
+    return nullptr;
+}
+
+const FunctionInfo *
+CodeIndex::findMethodInherited(const std::string &cls,
+                               const std::string &name) const
+{
+    std::set<std::string> seen;
+    std::deque<std::string> q = {cls};
+    while (!q.empty()) {
+        const std::string c = q.front();
+        q.pop_front();
+        if (!seen.insert(c).second)
+            continue;
+        auto fit = functionsByQual.find(c + "::" + name);
+        if (fit != functionsByQual.end() && !fit->second.empty())
+            return &functions[fit->second.front()];
+        auto it = classes.find(c);
+        if (it != classes.end())
+            for (const auto &b : it->second.bases)
+                q.push_back(b);
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+CodeIndex::transitiveDerived(const std::string &cls) const
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen = {cls};
+    std::deque<std::string> q = {cls};
+    while (!q.empty()) {
+        const std::string c = q.front();
+        q.pop_front();
+        auto it = derived.find(c);
+        if (it == derived.end())
+            continue;
+        for (const auto &d : it->second) {
+            if (seen.insert(d).second) {
+                out.push_back(d);
+                q.push_back(d);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Indexer
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Anno
+{
+    PhaseKind phase = PhaseKind::None;
+    StateKind state = StateKind::None;
+    bool phaseUsed = false;
+    bool stateUsed = false;
+};
+
+class Indexer
+{
+  public:
+    Indexer(const std::vector<SourceFile> &files, CodeIndex &ix)
+        : files_(files), ix_(ix)
+    {
+    }
+
+    void
+    run()
+    {
+        ix_.tokens.resize(files_.size());
+        annos_.resize(files_.size());
+        for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+            ix_.tokens[fi] = tokenize(files_[fi]);
+            parseAnnotations(fi);
+            std::size_t i = 0;
+            parseRegion(fi, i, ix_.tokens[fi].size(), "", false);
+        }
+        resolveDeferred();
+    }
+
+  private:
+    const std::vector<SourceFile> &files_;
+    CodeIndex &ix_;
+    /** Per-file, per-raw-line phase/state annotations. */
+    std::vector<std::map<std::size_t, Anno>> annos_;
+    /** Qualifier chains of out-of-line definitions, parallel to
+     *  ix_.functions ("" entries for inline/free definitions). */
+    std::vector<std::vector<std::string>> chains_;
+    /** Raw type-ident candidates per member, resolved after all
+     *  classes are known. */
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        memberTypeIdents_; // qual -> idents
+
+    void
+    parseAnnotations(std::size_t fi)
+    {
+        static const std::regex phaseRe(
+            "//\\s*toleo:\\s*phase\\((private|shared)\\)");
+        static const std::regex stateRe(
+            "//\\s*toleo:\\s*state\\((shared|per-core)\\)");
+        const auto &raw = files_[fi].raw;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            std::smatch m;
+            Anno a;
+            if (std::regex_search(raw[i], m, phaseRe))
+                a.phase = m[1].str() == "private" ? PhaseKind::Private
+                                                  : PhaseKind::Shared;
+            if (std::regex_search(raw[i], m, stateRe))
+                a.state = m[1].str() == "shared" ? StateKind::Shared
+                                                 : StateKind::PerCore;
+            if (a.phase != PhaseKind::None || a.state != StateKind::None)
+                annos_[fi][i + 1] = a;
+        }
+    }
+
+    PhaseKind
+    attachPhase(std::size_t fi, std::size_t line)
+    {
+        // Nearest unconsumed phase annotation within a few lines above
+        // the declaration (comments sit above multi-line signatures).
+        const std::size_t lo = line > 4 ? line - 4 : 1;
+        for (std::size_t l = line; l + 1 > lo; --l) {
+            auto it = annos_[fi].find(l);
+            if (it != annos_[fi].end() &&
+                it->second.phase != PhaseKind::None &&
+                !it->second.phaseUsed) {
+                it->second.phaseUsed = true;
+                return it->second.phase;
+            }
+        }
+        return PhaseKind::None;
+    }
+
+    StateKind
+    attachState(std::size_t fi, std::size_t line)
+    {
+        const std::size_t lo = line > 3 ? line - 3 : 1;
+        for (std::size_t l = line; l + 1 > lo; --l) {
+            auto it = annos_[fi].find(l);
+            if (it != annos_[fi].end() &&
+                it->second.state != StateKind::None &&
+                !it->second.stateUsed) {
+                it->second.stateUsed = true;
+                return it->second.state;
+            }
+        }
+        return StateKind::None;
+    }
+
+    struct FnHeader
+    {
+        enum class S { None, Skip, Found };
+        S s = S::None;
+        std::size_t nameIdx = 0;   ///< absolute token index of the name
+        std::size_t parenOpen = 0; ///< absolute index of '('
+        std::vector<std::string> chain; ///< qualifier chain (A::B::)
+    };
+
+    /** Recognize a function declarator in a decl-scope statement.
+     *  @p stmt holds absolute token indices into the file stream. */
+    FnHeader
+    findFunctionHeader(const Toks &t, const std::vector<std::size_t> &stmt)
+    {
+        FnHeader h;
+        int angle = 0;
+        for (std::size_t k = 0; k < stmt.size(); ++k) {
+            const std::string &s = t[stmt[k]].text;
+            if (s == "operator") {
+                h.s = FnHeader::S::Skip;
+                return h;
+            }
+            angle += angleDelta(s);
+            if (angle < 0)
+                angle = 0;
+            if (s != "(" || angle != 0 || k == 0)
+                continue;
+            const Token &prev = t[stmt[k - 1]];
+            if (prev.kind != Token::Kind::Ident || isKeyword(prev.text)) {
+                // Skip the parenthesized group so its contents can't
+                // produce a bogus candidate.
+                std::size_t close =
+                    matchForward(t, stmt[k], "(", ")");
+                while (k + 1 < stmt.size() && stmt[k] < close)
+                    ++k;
+                continue;
+            }
+            h.s = FnHeader::S::Found;
+            h.nameIdx = stmt[k - 1];
+            h.parenOpen = stmt[k];
+            // Collect the `A :: B ::` qualifier chain before the name.
+            std::size_t j = k - 1;
+            while (j >= 2 && t[stmt[j - 1]].text == "::" &&
+                   t[stmt[j - 2]].kind == Token::Kind::Ident) {
+                h.chain.insert(h.chain.begin(), t[stmt[j - 2]].text);
+                j -= 2;
+            }
+            return h;
+        }
+        return h;
+    }
+
+    void
+    registerFunction(std::size_t fi, const FnHeader &h,
+                     const std::string &cls, bool sawVirtualPrefix,
+                     const std::vector<std::size_t> &stmt, bool hasBody,
+                     std::size_t bodyBegin, std::size_t bodyEnd)
+    {
+        const Toks &t = ix_.tokens[fi];
+        FunctionInfo f;
+        f.name = t[h.nameIdx].text;
+        if (h.nameIdx > 0 && t[h.nameIdx - 1].text == "~")
+            f.name = "~" + f.name;
+        f.className = cls; // chain-qualified names resolved later
+        f.isVirtual = sawVirtualPrefix;
+        f.hasBody = hasBody;
+        f.file = &files_[fi];
+        f.line = t[h.nameIdx].line;
+        f.fileIndex = fi;
+        f.paramBegin = h.parenOpen + 1;
+        f.paramEnd = matchForward(t, h.parenOpen, "(", ")");
+        f.bodyBegin = bodyBegin;
+        f.bodyEnd = bodyEnd;
+        // Scan the declarator suffix (between ')' and the statement
+        // end) for const / override / final.  Stop const detection at
+        // the first ':' / '=' / '->' so ctor-init lists and trailing
+        // returns can't contribute.
+        bool stopConst = false;
+        for (std::size_t k = 0; k < stmt.size(); ++k) {
+            if (stmt[k] <= f.paramEnd)
+                continue;
+            const std::string &s = t[stmt[k]].text;
+            if (s == ":" || s == "=" || s == "->")
+                stopConst = true;
+            if (s == "const" && !stopConst)
+                f.isConst = true;
+            if (s == "override" || s == "final")
+                f.isVirtual = true;
+        }
+        f.phase = attachPhase(fi, f.line);
+        ix_.functions.push_back(f);
+        chains_.push_back(h.chain);
+    }
+
+    void
+    registerMember(std::size_t fi, const std::string &cls,
+                   const std::vector<std::size_t> &stmt,
+                   std::size_t stopAt)
+    {
+        const Toks &t = ix_.tokens[fi];
+        // Name = last top-level (angle-depth 0) identifier before the
+        // initializer ('=', brace init, or array extent).
+        int angle = 0;
+        bool sawAngle = false;
+        std::size_t nameIdx = static_cast<std::size_t>(-1);
+        std::vector<std::string> typeIdents;
+        for (std::size_t k = 0; k < stmt.size() && stmt[k] < stopAt; ++k) {
+            const Token &tok = t[stmt[k]];
+            const std::string &s = tok.text;
+            if (angle == 0 && (s == "=" || s == "["))
+                break;
+            angle += angleDelta(s);
+            if (angle < 0)
+                angle = 0;
+            sawAngle = sawAngle || angle > 0;
+            if (tok.kind == Token::Kind::Ident && !isKeyword(s)) {
+                if (nameIdx != static_cast<std::size_t>(-1))
+                    typeIdents.push_back(t[nameIdx].text);
+                if (angle == 0)
+                    nameIdx = stmt[k];
+                else
+                    typeIdents.push_back(s);
+            }
+        }
+        if (nameIdx == static_cast<std::size_t>(-1))
+            return;
+        const std::string name = t[nameIdx].text;
+        MemberInfo m;
+        m.name = name;
+        m.container = sawAngle;
+        m.className = cls;
+        m.file = &files_[fi];
+        m.line = t[nameIdx].line;
+        m.state = attachState(fi, m.line);
+        const std::string qual = cls + "::" + name;
+        if (ix_.members.count(qual))
+            return; // redeclaration (e.g. across #if arms)
+        ix_.members.emplace(qual, m);
+        ix_.classes[cls].memberNames.push_back(name);
+        if (m.state == StateKind::Shared)
+            ix_.classes[cls].hasSharedState = true;
+        memberTypeIdents_.push_back({qual, typeIdents});
+    }
+
+    /** Parse one declaration region (file top level, namespace body,
+     *  or class body).  @p i is the token cursor; the region ends at
+     *  @p end or at an unmatched '}' (consumed). */
+    void
+    parseRegion(std::size_t fi, std::size_t &i, std::size_t end,
+                const std::string &cls, bool classScope)
+    {
+        const Toks &t = ix_.tokens[fi];
+        while (i < end) {
+            // Access labels.
+            if (classScope && i + 1 < end &&
+                (t[i].text == "public" || t[i].text == "protected" ||
+                 t[i].text == "private") &&
+                t[i + 1].text == ":") {
+                i += 2;
+                continue;
+            }
+            if (t[i].text == "}") {
+                ++i;
+                return;
+            }
+            if (t[i].text == ";") {
+                ++i;
+                continue;
+            }
+            // Gather a statement up to a top-level ';', '{' or '}'.
+            std::vector<std::size_t> stmt;
+            int paren = 0;
+            std::size_t term = end;
+            char termKind = 0;
+            for (std::size_t j = i; j < end; ++j) {
+                const std::string &s = t[j].text;
+                if (paren == 0 &&
+                    (s == ";" || s == "{" || s == "}")) {
+                    term = j;
+                    termKind = s[0];
+                    break;
+                }
+                if (s == "(")
+                    ++paren;
+                else if (s == ")" && paren > 0)
+                    --paren;
+                stmt.push_back(j);
+            }
+            if (termKind == 0) {
+                i = end;
+                return;
+            }
+            if (termKind == '}') {
+                // Malformed trailing tokens; let the '}' handler run.
+                i = term;
+                continue;
+            }
+
+            // --- classify the statement -------------------------------
+            const std::string &first = t[stmt.empty() ? term : stmt[0]].text;
+
+            if (termKind == '{' && first == "namespace") {
+                i = term + 1;
+                parseRegion(fi, i, end, "", false);
+                continue;
+            }
+            if (termKind == '{' && first == "extern") {
+                // extern "C" { ... } -- transparent.
+                i = term + 1;
+                parseRegion(fi, i, end, cls, classScope);
+                continue;
+            }
+            // enum / enum class: skip the enumerator body.
+            if (termKind == '{' && containsTopLevel(t, stmt, "enum")) {
+                std::size_t close = matchForward(t, term, "{", "}");
+                i = std::min(close + 1, end);
+                continue;
+            }
+            // Variable with initializer list: `X x = { ... };`
+            if (termKind == '{' && hasTopLevelBefore(t, stmt, "=")) {
+                std::size_t close = matchForward(t, term, "{", "}");
+                i = skipToSemicolon(t, std::min(close + 1, end), end);
+                continue;
+            }
+            // Class/struct definition.
+            std::size_t clsKw = findTopLevel(t, stmt, "class");
+            if (clsKw == static_cast<std::size_t>(-1))
+                clsKw = findTopLevel(t, stmt, "struct");
+            if (clsKw == static_cast<std::size_t>(-1))
+                clsKw = findTopLevel(t, stmt, "union");
+            if (termKind == '{' && clsKw != static_cast<std::size_t>(-1) &&
+                first != "friend" && first != "using" &&
+                first != "typedef") {
+                std::string name;
+                for (std::size_t k = 0; k < stmt.size(); ++k) {
+                    if (stmt[k] <= clsKw)
+                        continue;
+                    const Token &tok = t[stmt[k]];
+                    if (tok.kind == Token::Kind::Ident &&
+                        !isKeyword(tok.text)) {
+                        name = tok.text;
+                        break;
+                    }
+                }
+                if (name.empty()) {
+                    // Anonymous struct/union: treat as transparent.
+                    i = term + 1;
+                    parseRegion(fi, i, end, cls, classScope);
+                    continue;
+                }
+                ClassInfo &ci = ix_.classes[name];
+                ci.name = name;
+                // Base-specifier list after a top-level ':'.
+                std::size_t colon = static_cast<std::size_t>(-1);
+                int angle = 0;
+                for (std::size_t k = 0; k < stmt.size(); ++k) {
+                    const std::string &s = t[stmt[k]].text;
+                    angle += angleDelta(s);
+                    if (angle < 0)
+                        angle = 0;
+                    if (angle == 0 && s == ":" && stmt[k] > clsKw &&
+                        (k == 0 || t[stmt[k - 1]].text != ":")) {
+                        colon = k;
+                        break;
+                    }
+                }
+                if (colon != static_cast<std::size_t>(-1)) {
+                    std::string base;
+                    angle = 0;
+                    for (std::size_t k = colon + 1; k <= stmt.size(); ++k) {
+                        const bool last = k == stmt.size();
+                        const std::string s =
+                            last ? "," : t[stmt[k]].text;
+                        if (!last) {
+                            angle += angleDelta(s);
+                            if (angle < 0)
+                                angle = 0;
+                        }
+                        if (!last && angle == 0 &&
+                            t[stmt[k]].kind == Token::Kind::Ident &&
+                            !isKeyword(s))
+                            base = s;
+                        if ((last || (angle == 0 && s == ",")) &&
+                            !base.empty()) {
+                            ci.bases.push_back(base);
+                            base.clear();
+                        }
+                    }
+                }
+                i = term + 1;
+                parseRegion(fi, i, end, name, true);
+                continue;
+            }
+
+            // Function declaration or definition.
+            FnHeader h = findFunctionHeader(t, stmt);
+            if (h.s == FnHeader::S::Found) {
+                const bool sawVirtual =
+                    containsTopLevel(t, stmt, "virtual");
+                if (termKind == ';') {
+                    registerFunction(fi, h, cls, sawVirtual, stmt, false,
+                                     0, 0);
+                    i = term + 1;
+                    continue;
+                }
+                // '{' terminator: the body, unless the declarator
+                // suffix has a ctor-init list -- then it may be a
+                // brace-init inside that list.  An init brace is
+                // directly preceded by an identifier / '>' / ']'; the
+                // body brace follows ')' or '}'.
+                std::size_t paramClose =
+                    matchForward(t, h.parenOpen, "(", ")");
+                bool ctorInit = false;
+                int sp = 0;
+                for (std::size_t k = 0; k < stmt.size(); ++k) {
+                    if (stmt[k] <= paramClose)
+                        continue;
+                    const std::string &s = t[stmt[k]].text;
+                    if (s == "(")
+                        ++sp;
+                    else if (s == ")" && sp > 0)
+                        --sp;
+                    if (sp == 0 && s == ":") {
+                        ctorInit = true;
+                        break;
+                    }
+                }
+                std::size_t bracePos = term;
+                while (ctorInit) {
+                    const std::string &before =
+                        t[bracePos - 1].text;
+                    if (before == ")" || before == "}")
+                        break;
+                    std::size_t close =
+                        matchForward(t, bracePos, "{", "}");
+                    bracePos = close + 1;
+                    // Scan to the next top-level '{' (or give up at ';').
+                    int p = 0;
+                    bool found = false;
+                    for (std::size_t j = bracePos; j < end; ++j) {
+                        const std::string &s = t[j].text;
+                        if (p == 0 && s == "{") {
+                            bracePos = j;
+                            found = true;
+                            break;
+                        }
+                        if (p == 0 && s == ";") {
+                            bracePos = j;
+                            break;
+                        }
+                        if (s == "(")
+                            ++p;
+                        else if (s == ")" && p > 0)
+                            --p;
+                    }
+                    if (!found) {
+                        // Delegating/aggregate oddity; treat as decl.
+                        registerFunction(fi, h, cls, sawVirtual, stmt,
+                                         false, 0, 0);
+                        i = std::min(bracePos + 1, end);
+                        break;
+                    }
+                    if (t[bracePos - 1].text == ")" ||
+                        t[bracePos - 1].text == "}")
+                        break;
+                }
+                if (i > term)
+                    continue; // decl fallback above already advanced
+                std::size_t close = matchForward(t, bracePos, "{", "}");
+                registerFunction(fi, h, cls, sawVirtual, stmt, true,
+                                 bracePos + 1, close);
+                i = std::min(close + 1, end);
+                continue;
+            }
+            if (h.s == FnHeader::S::Skip) {
+                // operator etc.: skip body if present.
+                if (termKind == '{') {
+                    std::size_t close = matchForward(t, term, "{", "}");
+                    i = std::min(close + 1, end);
+                } else {
+                    i = term + 1;
+                }
+                continue;
+            }
+
+            // Data member (class scope) or uninteresting namespace-
+            // scope declaration.
+            if (termKind == '{') {
+                // Brace-initialized member: `Rng rng{0};`
+                std::size_t close = matchForward(t, term, "{", "}");
+                if (classScope && !isSkippedMember(first))
+                    registerMember(fi, cls, stmt, term);
+                i = skipToSemicolon(t, std::min(close + 1, end), end);
+                continue;
+            }
+            if (classScope && !isSkippedMember(first) &&
+                clsKw == static_cast<std::size_t>(-1))
+                registerMember(fi, cls, stmt, term);
+            i = term + 1;
+        }
+    }
+
+    static bool
+    isSkippedMember(const std::string &first)
+    {
+        return first == "using" || first == "typedef" ||
+               first == "friend" || first == "static" ||
+               first == "template" || first == "constexpr" ||
+               first == "enum";
+    }
+
+    static bool
+    containsTopLevel(const Toks &t, const std::vector<std::size_t> &stmt,
+                     const char *kw)
+    {
+        return findTopLevel(t, stmt, kw) != static_cast<std::size_t>(-1);
+    }
+
+    static std::size_t
+    findTopLevel(const Toks &t, const std::vector<std::size_t> &stmt,
+                 const char *kw)
+    {
+        int angle = 0;
+        for (std::size_t k : stmt) {
+            angle += angleDelta(t[k].text);
+            if (angle < 0)
+                angle = 0;
+            if (angle == 0 && t[k].text == kw)
+                return k;
+        }
+        return static_cast<std::size_t>(-1);
+    }
+
+    static bool
+    hasTopLevelBefore(const Toks &t, const std::vector<std::size_t> &stmt,
+                      const char *kw)
+    {
+        int angle = 0;
+        for (std::size_t k : stmt) {
+            angle += angleDelta(t[k].text);
+            if (angle < 0)
+                angle = 0;
+            if (angle == 0 && t[k].text == kw)
+                return true;
+        }
+        return false;
+    }
+
+    static std::size_t
+    skipToSemicolon(const Toks &t, std::size_t i, std::size_t end)
+    {
+        int p = 0;
+        for (std::size_t j = i; j < end; ++j) {
+            const std::string &s = t[j].text;
+            if (p == 0 && s == ";")
+                return j + 1;
+            if (p == 0 && s == "}")
+                return j; // don't eat the region close
+            if (s == "(" || s == "{")
+                ++p;
+            else if ((s == ")" || s == "}") && p > 0)
+                --p;
+        }
+        return end;
+    }
+
+    void
+    resolveDeferred()
+    {
+        // Out-of-line qualifier chains -> class names.
+        for (std::size_t k = 0; k < ix_.functions.size(); ++k) {
+            FunctionInfo &f = ix_.functions[k];
+            if (f.className.empty() && !chains_[k].empty()) {
+                const std::string &last = chains_[k].back();
+                if (ix_.classes.count(last))
+                    f.className = last;
+                // else: namespace-qualified free function; keep bare.
+            }
+        }
+        for (std::size_t k = 0; k < ix_.functions.size(); ++k) {
+            FunctionInfo &f = ix_.functions[k];
+            ix_.functionsByQual[f.qualName()].push_back(k);
+            if (!f.className.empty()) {
+                ix_.classes[f.className].methodNames.insert(f.name);
+                ix_.methodsByName[f.name].push_back(k);
+            }
+        }
+        // Member types: last declaration ident naming an indexed class
+        // wins (innermost template argument).
+        for (auto &mt : memberTypeIdents_) {
+            auto it = ix_.members.find(mt.first);
+            if (it == ix_.members.end())
+                continue;
+            for (auto rit = mt.second.rbegin(); rit != mt.second.rend();
+                 ++rit) {
+                if (ix_.classes.count(*rit)) {
+                    it->second.typeClass = *rit;
+                    break;
+                }
+            }
+        }
+        for (const auto &kv : ix_.classes)
+            for (const auto &b : kv.second.bases)
+                ix_.derived[b].push_back(kv.first);
+        for (auto &kv : ix_.derived) {
+            std::sort(kv.second.begin(), kv.second.end());
+            kv.second.erase(
+                std::unique(kv.second.begin(), kv.second.end()),
+                kv.second.end());
+        }
+    }
+};
+
+} // namespace
+
+CodeIndex
+buildIndex(const std::vector<SourceFile> &files)
+{
+    CodeIndex ix;
+    Indexer(files, ix).run();
+    return ix;
+}
+
+// ---------------------------------------------------------------------
+// Phase-safety analysis
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Merged
+{
+    PhaseKind phase = PhaseKind::None;
+    bool isVirtual = false;
+    bool isConst = false;
+    bool hasBody = false;
+    bool exists = false;
+};
+
+Merged
+mergedOf(const CodeIndex &ix, const std::string &qual)
+{
+    Merged m;
+    auto it = ix.functionsByQual.find(qual);
+    if (it == ix.functionsByQual.end())
+        return m;
+    m.exists = true;
+    for (std::size_t k : it->second) {
+        const FunctionInfo &f = ix.functions[k];
+        if (f.phase != PhaseKind::None)
+            m.phase = f.phase;
+        m.isVirtual |= f.isVirtual;
+        m.isConst |= f.isConst;
+        m.hasBody |= f.hasBody;
+    }
+    return m;
+}
+
+/** Owning class (cls or a base) that declares method @p m; "". */
+std::string
+methodOwner(const CodeIndex &ix, const std::string &cls,
+            const std::string &m)
+{
+    std::set<std::string> seen;
+    std::deque<std::string> q = {cls};
+    while (!q.empty()) {
+        const std::string c = q.front();
+        q.pop_front();
+        if (!seen.insert(c).second)
+            continue;
+        if (ix.functionsByQual.count(c + "::" + m))
+            return c;
+        auto it = ix.classes.find(c);
+        if (it != ix.classes.end())
+            for (const auto &b : it->second.bases)
+                q.push_back(b);
+    }
+    return "";
+}
+
+/** One syntactic postfix chain: base expression plus member parts. */
+struct Chain
+{
+    enum class Base { This, Ident, Cast, Unresolved };
+    Base base = Base::Unresolved;
+    std::string baseIdent;     ///< when base == Ident
+    std::string castClass;     ///< cast target class (when resolvable)
+    bool castOnThis = false;   ///< cast argument mentions `this`
+    std::vector<std::string> parts; ///< member names, outermost first
+    bool ok = false;
+};
+
+/** Walk backward from token @p j (the last token of a postfix chain)
+ *  collecting `base . a -> b [i]` shapes. */
+Chain
+chainBackward(const Toks &t, std::size_t j, const CodeIndex &ix)
+{
+    Chain ch;
+    for (;;) {
+        if (j == static_cast<std::size_t>(-1))
+            return ch;
+        const Token &tok = t[j];
+        if (tok.text == "]") {
+            std::size_t open = matchBackward(t, j, "[", "]");
+            if (open == static_cast<std::size_t>(-1) || open == 0)
+                return ch;
+            j = open - 1;
+            continue;
+        }
+        if (tok.text == ")") {
+            std::size_t open = matchBackward(t, j, "(", ")");
+            if (open == static_cast<std::size_t>(-1) || open == 0)
+                return ch;
+            const std::string &before = t[open - 1].text;
+            if (before == ">" || before == ">>") {
+                std::size_t lt = matchAnglesBackward(t, open - 1);
+                if (lt != static_cast<std::size_t>(-1) && lt > 0 &&
+                    isCastKeyword(t[lt - 1].text)) {
+                    // const_cast<T *>(expr)
+                    ch.base = Chain::Base::Cast;
+                    for (std::size_t k = lt + 1; k < open - 1; ++k)
+                        if (t[k].kind == Token::Kind::Ident &&
+                            ix.classes.count(t[k].text))
+                            ch.castClass = t[k].text;
+                    for (std::size_t k = open + 1; k < j; ++k)
+                        if (t[k].text == "this")
+                            ch.castOnThis = true;
+                    ch.ok = true;
+                    return ch;
+                }
+            }
+            // Call or parenthesized expression as receiver: opaque.
+            return ch;
+        }
+        if (tok.kind == Token::Kind::Ident || tok.text == "this") {
+            ch.parts.insert(ch.parts.begin(), tok.text);
+            if (j >= 2 &&
+                (t[j - 1].text == "." || t[j - 1].text == "->")) {
+                j -= 2;
+                continue;
+            }
+            // Chain base reached.
+            if (tok.text == "this") {
+                ch.base = Chain::Base::This;
+                ch.parts.erase(ch.parts.begin());
+            } else {
+                ch.base = Chain::Base::Ident;
+                ch.baseIdent = tok.text;
+                ch.parts.erase(ch.parts.begin());
+            }
+            ch.ok = true;
+            return ch;
+        }
+        return ch;
+    }
+}
+
+/** Collect a forward postfix chain starting at ident token @p i;
+ *  returns the chain and sets @p last to the final consumed token. */
+Chain
+chainForward(const Toks &t, std::size_t i, std::size_t bodyEnd,
+             std::size_t &last)
+{
+    Chain ch;
+    if (t[i].text == "this")
+        ch.base = Chain::Base::This;
+    else {
+        ch.base = Chain::Base::Ident;
+        ch.baseIdent = t[i].text;
+    }
+    ch.ok = true;
+    std::size_t j = i + 1;
+    last = i;
+    while (j < bodyEnd) {
+        if (t[j].text == "[") {
+            std::size_t close = matchForward(t, j, "[", "]");
+            j = close + 1;
+            last = close;
+            continue;
+        }
+        if ((t[j].text == "." || t[j].text == "->") &&
+            j + 1 < bodyEnd &&
+            t[j + 1].kind == Token::Kind::Ident) {
+            ch.parts.push_back(t[j + 1].text);
+            last = j + 1;
+            j += 2;
+            continue;
+        }
+        break;
+    }
+    return ch;
+}
+
+struct EvalResult
+{
+    bool baseResolved = false;
+    bool fullyResolved = false;
+    /** Any member along the chain (incl. the last part) annotated
+     *  state(shared); holds the first such member's name. */
+    std::string sharedMember;
+    /** Class owning the final part ("" if unresolved). */
+    std::string finalOwner;
+    /** typeClass after the final part ("" if unknown / scalar). */
+    std::string finalClass;
+    /** The final resolved member is a container/smart pointer:
+     *  finalClass is its *element* type (see MemberInfo::container). */
+    bool finalContainer = false;
+};
+
+class Analyzer
+{
+  public:
+    Analyzer(const std::vector<SourceFile> &files, const CodeIndex &ix)
+        : files_(files), ix_(ix)
+    {
+        (void)files_;
+        for (const auto &kv : ix_.members)
+            if (kv.second.state == StateKind::Shared)
+                sharedMemberNames_.insert(kv.second.name);
+        static const char *statsCls[] = {"SimStats", "ServingStats",
+                                         "RackStats", "RackNodeStats",
+                                         "LatencyHistogram"};
+        for (const char *c : statsCls) {
+            auto it = ix_.classes.find(c);
+            if (it == ix_.classes.end())
+                continue;
+            statsClasses_.insert(c);
+            for (const auto &m : it->second.memberNames)
+                statsFieldNames_.insert(m);
+        }
+    }
+
+    PhaseReport
+    run()
+    {
+        seedRoots();
+        while (!queue_.empty()) {
+            const auto [qual, root] = queue_.front();
+            queue_.pop_front();
+            curRoot_ = root;
+            auto it = ix_.functionsByQual.find(qual);
+            if (it == ix_.functionsByQual.end())
+                continue;
+            for (std::size_t k : it->second) {
+                const FunctionInfo &f = ix_.functions[k];
+                if (f.hasBody)
+                    scanBody(f);
+            }
+            ++report_.functionsWalked;
+        }
+        auto lt = [](const PhaseIssue &a, const PhaseIssue &b) {
+            if (a.file->path != b.file->path)
+                return a.file->path < b.file->path;
+            if (a.line != b.line)
+                return a.line < b.line;
+            return a.message < b.message;
+        };
+        std::sort(report_.violations.begin(), report_.violations.end(),
+                  lt);
+        std::sort(report_.warnings.begin(), report_.warnings.end(), lt);
+        return std::move(report_);
+    }
+
+  private:
+    const std::vector<SourceFile> &files_;
+    const CodeIndex &ix_;
+    std::set<std::string> sharedMemberNames_;
+    std::set<std::string> statsClasses_;
+    std::set<std::string> statsFieldNames_;
+    /** Worklist entries carry the phase(private) root that made the
+     *  function reachable, so findings deep in a call chain name the
+     *  entry point the hazard escapes from. */
+    std::deque<std::pair<std::string, std::string>> queue_;
+    std::set<std::string> visited_;
+    std::string curRoot_;
+    PhaseReport report_;
+
+    void
+    enqueue(const std::string &qual)
+    {
+        if (visited_.insert(qual).second)
+            queue_.push_back({qual, curRoot_});
+    }
+
+    void
+    seedRoots()
+    {
+        for (const auto &kv : ix_.functionsByQual) {
+            Merged m = mergedOf(ix_, kv.first);
+            if (m.phase != PhaseKind::Private)
+                continue;
+            ++report_.roots;
+            const FunctionInfo &f = ix_.functions[kv.second.front()];
+            if (!m.hasBody && !m.isVirtual)
+                report_.warnings.push_back(
+                    {f.file, f.line,
+                     "phase(private) root " + kv.first +
+                         " has no indexed definition"});
+            curRoot_ = kv.first;
+            enqueue(kv.first);
+            // A virtual private root covers its whole override set.
+            if (m.isVirtual && !f.className.empty()) {
+                for (const auto &d :
+                     ix_.transitiveDerived(f.className)) {
+                    auto cit = ix_.classes.find(d);
+                    if (cit != ix_.classes.end() &&
+                        cit->second.methodNames.count(f.name))
+                        enqueue(d + "::" + f.name);
+                }
+            }
+        }
+    }
+
+    void
+    violation(const FunctionInfo &f, std::size_t line,
+              const std::string &msg)
+    {
+        const std::string where =
+            f.qualName() == curRoot_
+                ? " [in phase(private) root " + curRoot_ + "]"
+                : " [reached from phase(private) root " + curRoot_ +
+                      " via " + f.qualName() + "]";
+        report_.violations.push_back({f.file, line, msg + where});
+    }
+
+    void
+    warning(const FunctionInfo &f, std::size_t line,
+            const std::string &msg)
+    {
+        report_.warnings.push_back(
+            {f.file, line, msg + " [in " + f.qualName() + "]"});
+    }
+
+    /** Resolve `Class ( & | * | const )* name` local/param decls so
+     *  receivers like `SetAssocCache &l1 = l1_[i]` stay typed. */
+    void
+    collectLocals(const Toks &t, std::size_t begin, std::size_t end,
+                  std::map<std::string, std::string> &locals)
+    {
+        for (std::size_t j = begin; j + 1 < end; ++j) {
+            if (t[j].kind != Token::Kind::Ident ||
+                !ix_.classes.count(t[j].text))
+                continue;
+            std::size_t k = j + 1;
+            while (k < end && (t[k].text == "&" || t[k].text == "*" ||
+                               t[k].text == "const"))
+                ++k;
+            if (k < end && k > j + 1 &&
+                t[k].kind == Token::Kind::Ident &&
+                !isKeyword(t[k].text))
+                locals.emplace(t[k].text, t[j].text);
+            else if (k == j + 1 && k < end &&
+                     t[k].kind == Token::Kind::Ident &&
+                     !isKeyword(t[k].text) && k + 1 < end &&
+                     (t[k + 1].text == "=" || t[k + 1].text == "{" ||
+                      t[k + 1].text == ";" || t[k + 1].text == "("))
+                locals.emplace(t[k].text, t[j].text);
+        }
+    }
+
+    EvalResult
+    evalChain(const Chain &ch, const FunctionInfo &f,
+              const std::map<std::string, std::string> &locals)
+    {
+        EvalResult r;
+        std::string cls;
+        switch (ch.base) {
+        case Chain::Base::This:
+            cls = f.className;
+            r.baseResolved = !cls.empty();
+            break;
+        case Chain::Base::Cast:
+            cls = !ch.castClass.empty()
+                      ? ch.castClass
+                      : (ch.castOnThis ? f.className : "");
+            r.baseResolved = !cls.empty();
+            break;
+        case Chain::Base::Ident: {
+            auto lit = locals.find(ch.baseIdent);
+            if (lit != locals.end()) {
+                cls = lit->second;
+                r.baseResolved = true;
+            } else if (!f.className.empty()) {
+                const MemberInfo *m = ix_.findMemberInherited(
+                    f.className, ch.baseIdent);
+                if (m) {
+                    r.baseResolved = true;
+                    if (m->state == StateKind::Shared &&
+                        r.sharedMember.empty())
+                        r.sharedMember = m->name;
+                    cls = m->typeClass;
+                    r.finalOwner = m->className;
+                    r.finalContainer = m->container;
+                }
+            }
+            break;
+        }
+        case Chain::Base::Unresolved:
+            break;
+        }
+        if (ch.base == Chain::Base::Ident && r.baseResolved &&
+            ch.parts.empty()) {
+            // Chain is just the member itself.
+            r.fullyResolved = true;
+            r.finalClass = cls;
+            return r;
+        }
+        r.finalOwner.clear();
+        r.finalContainer = false;
+        bool resolved = r.baseResolved;
+        for (std::size_t k = 0; k < ch.parts.size(); ++k) {
+            if (!resolved || cls.empty()) {
+                resolved = false;
+                break;
+            }
+            const MemberInfo *m =
+                ix_.findMemberInherited(cls, ch.parts[k]);
+            if (!m) {
+                resolved = false;
+                break;
+            }
+            if (m->state == StateKind::Shared && r.sharedMember.empty())
+                r.sharedMember = m->name;
+            r.finalOwner = m->className;
+            cls = m->typeClass;
+            r.finalContainer = m->container;
+        }
+        r.fullyResolved = resolved;
+        r.finalClass = resolved ? cls : "";
+        return r;
+    }
+
+    /** Handle a resolved method call `recvClass.m(...)`. */
+    void
+    handleMethodCall(const FunctionInfo &f, std::size_t line,
+                     const std::string &recvClass, const std::string &m,
+                     bool viaShared, const std::string &sharedName)
+    {
+        const std::string owner = methodOwner(ix_, recvClass, m);
+        if (owner.empty()) {
+            if (ix_.classes.count(recvClass))
+                warning(f, line,
+                        "unknown callee: method " + recvClass +
+                            "::" + m + " not found in index");
+            return;
+        }
+        dispatchTo(f, line, owner, m, viaShared, sharedName,
+                   /*isVirtualSite=*/false);
+        Merged mg = mergedOf(ix_, owner + "::" + m);
+        if (mg.isVirtual) {
+            for (const auto &d : ix_.transitiveDerived(owner)) {
+                auto cit = ix_.classes.find(d);
+                if (cit != ix_.classes.end() &&
+                    cit->second.methodNames.count(m))
+                    dispatchTo(f, line, d, m, viaShared, sharedName,
+                               /*isVirtualSite=*/true);
+            }
+        }
+    }
+
+    void
+    dispatchTo(const FunctionInfo &f, std::size_t line,
+               const std::string &cls, const std::string &m,
+               bool viaShared, const std::string &sharedName,
+               bool isVirtualSite)
+    {
+        const std::string qual = cls + "::" + m;
+        Merged mg = mergedOf(ix_, qual);
+        if (!mg.exists)
+            return;
+        if (mg.phase == PhaseKind::Shared) {
+            violation(f, line,
+                      std::string(isVirtualSite ? "virtual dispatch to "
+                                                : "call into ") +
+                          "phase(shared) function " + qual +
+                          " from private-phase code");
+            return;
+        }
+        if (viaShared && !mg.isConst)
+            violation(f, line,
+                      "non-const call " + qual +
+                          " on state(shared) member '" + sharedName +
+                          "'");
+        enqueue(qual);
+    }
+
+    void
+    maybeWarnUnresolvedCall(const FunctionInfo &f, std::size_t line,
+                            const std::string &m)
+    {
+        auto it = ix_.methodsByName.find(m);
+        if (it == ix_.methodsByName.end())
+            return;
+        std::set<std::string> quals;
+        for (std::size_t k : it->second)
+            quals.insert(ix_.functions[k].qualName());
+        for (const auto &q : quals) {
+            Merged mg = mergedOf(ix_, q);
+            const std::string cls = q.substr(0, q.find("::"));
+            if (mg.phase == PhaseKind::Shared) {
+                warning(f, line,
+                        "unknown callee: unresolved receiver for '" + m +
+                            "(...)' shadows phase(shared) " + q);
+                return;
+            }
+            if (mg.isVirtual && !ix_.transitiveDerived(cls).empty()) {
+                warning(f, line,
+                        "unknown callee: unresolved receiver for '" + m +
+                            "(...)' shadows virtual " + q);
+                return;
+            }
+        }
+    }
+
+    void
+    scanBody(const FunctionInfo &f)
+    {
+        const Toks &t = ix_.tokens[f.fileIndex];
+        std::map<std::string, std::string> locals;
+        collectLocals(t, f.paramBegin, f.paramEnd, locals);
+        collectLocals(t, f.bodyBegin, f.bodyEnd, locals);
+
+        for (std::size_t i = f.bodyBegin; i < f.bodyEnd; ++i) {
+            const Token &tok = t[i];
+
+            // ---- calls ----
+            if (tok.kind == Token::Kind::Ident && i + 1 < f.bodyEnd &&
+                t[i + 1].text == "(" && !isKeyword(tok.text)) {
+                const std::string prev =
+                    i > f.bodyBegin ? t[i - 1].text : "";
+                if (prev == "." || prev == "->") {
+                    Chain ch = chainBackward(t, i - 2, ix_);
+                    // `member.method(...)` with no [i]/deref between:
+                    // the receiver is the container object itself, so
+                    // element-class method lookup does not apply.
+                    const bool directIdent =
+                        i >= 2 && t[i - 2].kind == Token::Kind::Ident;
+                    if (ch.ok) {
+                        EvalResult r = evalChain(ch, f, locals);
+                        if (prev == "." && directIdent &&
+                            r.fullyResolved && r.finalContainer) {
+                            handleContainerCall(f, tok.line, tok.text,
+                                                r.sharedMember);
+                        } else if (r.fullyResolved &&
+                                   !r.finalClass.empty()) {
+                            handleMethodCall(f, tok.line, r.finalClass,
+                                             tok.text,
+                                             !r.sharedMember.empty(),
+                                             r.sharedMember);
+                        } else if (!r.sharedMember.empty()) {
+                            warning(f, tok.line,
+                                    "unknown callee: call '" + tok.text +
+                                        "(...)' through state(shared) "
+                                        "member '" +
+                                        r.sharedMember +
+                                        "' of unresolved type");
+                        } else {
+                            maybeWarnUnresolvedCall(f, tok.line,
+                                                    tok.text);
+                        }
+                    } else {
+                        maybeWarnUnresolvedCall(f, tok.line, tok.text);
+                    }
+                } else if (prev == "::") {
+                    // Qualified call A::B::m(...).
+                    std::size_t j = i - 1;
+                    std::string qcls;
+                    std::string firstQ;
+                    while (j >= 1 && t[j].text == "::" &&
+                           t[j - 1].kind == Token::Kind::Ident) {
+                        firstQ = t[j - 1].text;
+                        if (qcls.empty() &&
+                            ix_.classes.count(t[j - 1].text))
+                            qcls = t[j - 1].text;
+                        if (j < 2)
+                            break;
+                        j -= 2;
+                    }
+                    if (!qcls.empty())
+                        handleMethodCall(f, tok.line, qcls, tok.text,
+                                         false, "");
+                    else if (ix_.functionsByQual.count(tok.text) &&
+                             firstQ != "std")
+                        handleFreeCall(f, tok.line, tok.text);
+                    // else: std:: or other external -- silent.
+                } else {
+                    // Bare call.
+                    if (!f.className.empty() &&
+                        !methodOwner(ix_, f.className, tok.text)
+                             .empty()) {
+                        handleMethodCall(f, tok.line, f.className,
+                                         tok.text, false, "");
+                    } else if (ix_.functionsByQual.count(tok.text)) {
+                        handleFreeCall(f, tok.line, tok.text);
+                    } else if (isMacroLike(tok.text)) {
+                        warning(f, tok.line,
+                                "unknown callee: macro-like call '" +
+                                    tok.text +
+                                    "(...)' has no indexed definition");
+                    } else {
+                        maybeWarnUnresolvedCall(f, tok.line, tok.text);
+                    }
+                }
+            }
+
+            // ---- writes ----
+            const bool isIncDec = tok.text == "++" || tok.text == "--";
+            if (isAssignOp(tok.text) || isIncDec) {
+                Chain ch;
+                std::size_t line = tok.line;
+                if (isIncDec && i + 1 < f.bodyEnd &&
+                    (t[i + 1].kind == Token::Kind::Ident) &&
+                    !(i > f.bodyBegin &&
+                      (t[i - 1].kind == Token::Kind::Ident ||
+                       t[i - 1].text == "]" || t[i - 1].text == ")"))) {
+                    // Prefix ++x / --x.
+                    std::size_t lastTok = i + 1;
+                    ch = chainForward(t, i + 1, f.bodyEnd, lastTok);
+                    line = t[i + 1].line;
+                } else if (i > f.bodyBegin) {
+                    ch = chainBackward(t, i - 1, ix_);
+                }
+                if (!ch.ok)
+                    continue;
+                checkWrite(f, line, ch, locals);
+            }
+        }
+    }
+
+    /**
+     * A method called directly on a container/smart-pointer member
+     * (no subscript or deref): classify by the standard container
+     * vocabulary instead of looking it up on the element class.
+     * Const reads are always safe; mutations are writes to the
+     * member; anything unrecognized on a state(shared) member
+     * degrades to a warning, never silence.
+     */
+    void
+    handleContainerCall(const FunctionInfo &f, std::size_t line,
+                        const std::string &m,
+                        const std::string &sharedName)
+    {
+        static const std::set<std::string> constOps = {
+            "size",  "empty", "begin",    "end",   "cbegin",
+            "cend",  "rbegin", "rend",    "count", "find",
+            "at",    "front", "back",     "capacity", "data",
+            "get",   "contains", "lower_bound", "upper_bound"};
+        static const std::set<std::string> mutatingOps = {
+            "push_back", "emplace_back", "pop_back", "clear",
+            "insert",    "erase",        "resize",   "reserve",
+            "assign",    "emplace",      "swap",     "push_front",
+            "pop_front", "reset",        "release",  "fill"};
+        if (constOps.count(m))
+            return;
+        if (mutatingOps.count(m)) {
+            if (!sharedName.empty())
+                violation(f, line,
+                          "mutating container call '" + m +
+                              "' on state(shared) member '" +
+                              sharedName + "'");
+            return;
+        }
+        if (!sharedName.empty())
+            warning(f, line,
+                    "unknown callee: container method '" + m +
+                        "(...)' on state(shared) member '" +
+                        sharedName + "'");
+    }
+
+    void
+    handleFreeCall(const FunctionInfo &f, std::size_t line,
+                   const std::string &name)
+    {
+        Merged mg = mergedOf(ix_, name);
+        if (!mg.exists)
+            return;
+        if (mg.phase == PhaseKind::Shared) {
+            violation(f, line,
+                      "call into phase(shared) function " + name +
+                          " from private-phase code");
+            return;
+        }
+        enqueue(name);
+    }
+
+    void
+    checkWrite(const FunctionInfo &f, std::size_t line, const Chain &ch,
+               const std::map<std::string, std::string> &locals)
+    {
+        // The written location is the full chain; the final part (or
+        // the base ident itself) is the mutated field.
+        std::string finalName =
+            ch.parts.empty() ? ch.baseIdent : ch.parts.back();
+        if (finalName.empty())
+            return;
+        EvalResult r = evalChain(ch, f, locals);
+        if (!r.sharedMember.empty()) {
+            violation(f, line,
+                      "write to state(shared) data through member '" +
+                          r.sharedMember + "'");
+            return;
+        }
+        if (r.fullyResolved && statsClasses_.count(r.finalOwner)) {
+            violation(f, line,
+                      "mutation of stats field " + r.finalOwner +
+                          "::" + finalName + " in private-phase code");
+            return;
+        }
+        if (!r.baseResolved && !ch.parts.empty()) {
+            if (statsFieldNames_.count(finalName))
+                warning(f, line,
+                        "possible stats mutation '" + finalName +
+                            "' on unresolved receiver");
+            else if (sharedMemberNames_.count(finalName))
+                warning(f, line,
+                        "possible write to state(shared) '" + finalName +
+                            "' on unresolved receiver");
+        }
+    }
+};
+
+} // namespace
+
+PhaseReport
+analyzePhaseSafety(const std::vector<SourceFile> &files,
+                   const CodeIndex &index)
+{
+    return Analyzer(files, index).run();
+}
+
+PhaseReport
+analyzePhaseSafety(const std::vector<SourceFile> &files)
+{
+    CodeIndex ix = buildIndex(files);
+    return Analyzer(files, ix).run();
+}
+
+} // namespace toleo_lint

@@ -20,7 +20,8 @@
  *                       adjacent clamp (the PR 4 bug shape)
  *   stats-serialization every SimStats/RackStats/RackNodeStats field
  *                       must appear in statsToJson/rackStatsToJson,
- *                       and every scalar SimStats field in statsCsvRow
+ *                       and every scalar stats field in the CSV
+ *                       emitters (statsCsvRow, rackCsvRow)
  *   include-convention  quoted #includes must be src-relative or
  *                       repo-root-relative (subsumes the old
  *                       tests/check_includes.cmake)
@@ -30,6 +31,13 @@
  *                       the sanctioned pool implementations
  *                       (sim/intra_pool, sim/sweep.cc); new
  *                       parallelism must preserve deterministic replay
+ *   phase-safety        annotation-driven call-graph analysis: code
+ *                       reachable from a // toleo: phase(private)
+ *                       root must not write state(shared) data,
+ *                       mutate stats structs, or call phase(shared)
+ *                       functions (see phase_safety.hh)
+ *   unused-suppression  allow() comments that suppressed nothing
+ *                       (run after the other requested rules)
  *
  * A justified site is annotated, never globally silenced:
  *
@@ -38,7 +46,9 @@
  * on the offending line or the line directly above suppresses that
  * rule there.  Each rule family runs as its own ctest case
  * (lint_<rule>), plus lint_self_test, which feeds known-bad snippets
- * through every rule and fails if any rule has gone blind.
+ * through every rule and fails if any rule has gone blind.  The tree
+ * is loaded and stripped once per process; --rule accepts comma lists
+ * so one invocation can run any subset.
  *
  * The scanner skips its own directory (tools/toleo_lint): this file
  * necessarily names every banned pattern in its rule tables.
@@ -58,220 +68,19 @@
 #include <string>
 #include <vector>
 
+#include "tools/toleo_lint/lint_source.hh"
+#include "tools/toleo_lint/phase_safety.hh"
+
 namespace fs = std::filesystem;
 
+using toleo_lint::Finding;
+using toleo_lint::Linter;
+using toleo_lint::makeSourceFile;
+using toleo_lint::PhaseReport;
+using toleo_lint::SourceFile;
+using toleo_lint::splitLines;
+
 namespace {
-
-struct Finding
-{
-    std::string file;
-    std::size_t line = 0;
-    std::string rule;
-    std::string message;
-};
-
-/** One scanned translation unit: raw text, stripped text, and the
- *  per-line suppression sets parsed from toleo-lint comments. */
-struct SourceFile
-{
-    std::string path; ///< display path (relative to the scan root)
-    std::vector<std::string> raw;
-    /** Comment and string-literal contents blanked, line structure
-     *  preserved, so rules never fire on prose or log messages. */
-    std::vector<std::string> code;
-    /** code lines joined with '\n' (for multi-line regex scans). */
-    std::string joined;
-    /** Byte offset of each line within joined. */
-    std::vector<std::size_t> lineOffset;
-    /** line -> rules suppressed on that line. */
-    std::map<std::size_t, std::set<std::string>> allow;
-
-    bool
-    allowed(std::size_t line, const std::string &rule) const
-    {
-        auto it = allow.find(line);
-        return it != allow.end() && it->second.count(rule);
-    }
-
-    std::size_t
-    lineOfOffset(std::size_t off) const
-    {
-        auto it = std::upper_bound(lineOffset.begin(), lineOffset.end(),
-                                   off);
-        return static_cast<std::size_t>(it - lineOffset.begin());
-    }
-};
-
-/** Blank comments and string/char literal contents, preserving line
- *  breaks so findings keep their line numbers. */
-std::string
-stripCommentsAndStrings(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    enum class St { Code, Line, Block, Str, Chr, Raw };
-    St st = St::Code;
-    std::string rawDelim;
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (st) {
-        case St::Code:
-            if (c == '/' && n == '/') {
-                st = St::Line;
-                out += "  ";
-                ++i;
-            } else if (c == '/' && n == '*') {
-                st = St::Block;
-                out += "  ";
-                ++i;
-            } else if (c == 'R' && n == '"' &&
-                       (i == 0 || (!std::isalnum(static_cast<unsigned
-                                                     char>(text[i - 1])) &&
-                                   text[i - 1] != '_'))) {
-                // R"delim( ... )delim"
-                std::size_t p = i + 2;
-                rawDelim.clear();
-                while (p < text.size() && text[p] != '(')
-                    rawDelim += text[p++];
-                rawDelim = ")" + rawDelim + "\"";
-                st = St::Raw;
-                out += "R\"";
-                out.append(p - (i + 1), ' ');
-                i = p; // at '('
-            } else if (c == '"') {
-                st = St::Str;
-                out += c;
-            } else if (c == '\'') {
-                st = St::Chr;
-                out += c;
-            } else {
-                out += c;
-            }
-            break;
-        case St::Line:
-            if (c == '\n') {
-                st = St::Code;
-                out += c;
-            } else {
-                out += ' ';
-            }
-            break;
-        case St::Block:
-            if (c == '*' && n == '/') {
-                st = St::Code;
-                out += "  ";
-                ++i;
-            } else {
-                out += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        case St::Str:
-            if (c == '\\') {
-                out += "  ";
-                ++i;
-            } else if (c == '"') {
-                st = St::Code;
-                out += c;
-            } else {
-                out += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        case St::Chr:
-            if (c == '\\') {
-                out += "  ";
-                ++i;
-            } else if (c == '\'') {
-                st = St::Code;
-                out += c;
-            } else {
-                out += ' ';
-            }
-            break;
-        case St::Raw:
-            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
-                out += rawDelim;
-                i += rawDelim.size() - 1;
-                st = St::Code;
-            } else {
-                out += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : text) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
-    return lines;
-}
-
-SourceFile
-makeSourceFile(std::string display, const std::string &text)
-{
-    SourceFile sf;
-    sf.path = std::move(display);
-    sf.raw = splitLines(text);
-    sf.joined = stripCommentsAndStrings(text);
-    sf.code = splitLines(sf.joined);
-    sf.lineOffset.reserve(sf.code.size());
-    std::size_t off = 0;
-    for (const auto &l : sf.code) {
-        sf.lineOffset.push_back(off);
-        off += l.size() + 1;
-    }
-
-    // Parse suppression comments from the raw text: an allow() on a
-    // line covers that line and the next, so a comment line can
-    // annotate the declaration below it.
-    static const std::regex allowRe(
-        "toleo-lint:\\s*allow\\(([A-Za-z0-9_, -]+)\\)");
-    for (std::size_t i = 0; i < sf.raw.size(); ++i) {
-        std::smatch m;
-        if (!std::regex_search(sf.raw[i], m, allowRe))
-            continue;
-        std::stringstream ss(m[1].str());
-        std::string rule;
-        while (std::getline(ss, rule, ',')) {
-            rule.erase(0, rule.find_first_not_of(" \t"));
-            rule.erase(rule.find_last_not_of(" \t") + 1);
-            if (rule.empty())
-                continue;
-            sf.allow[i + 1].insert(rule);
-            sf.allow[i + 2].insert(rule);
-        }
-    }
-    return sf;
-}
-
-class Linter
-{
-  public:
-    void
-    emit(const SourceFile &sf, std::size_t line, const std::string &rule,
-         const std::string &message)
-    {
-        if (sf.allowed(line, rule))
-            return;
-        findings.push_back({sf.path, line, rule, message});
-    }
-
-    std::vector<Finding> findings;
-};
 
 // ---------------------------------------------------------------------
 // Rule: nondeterminism
@@ -587,7 +396,7 @@ checkFieldsSerialized(const std::vector<SourceFile> &files, Linter &lint,
 void
 ruleStatsSerialization(const std::vector<SourceFile> &files, Linter &lint)
 {
-    // JSON serializers must cover every field; the CSV row is
+    // JSON serializers must cover every field; the CSV emitters are
     // documented scalar-only, so compound fields are exempt there.
     checkFieldsSerialized(files, lint, "SimStats", "statsToJson", false);
     checkFieldsSerialized(files, lint, "SimStats", "statsCsvRow", true);
@@ -597,6 +406,13 @@ ruleStatsSerialization(const std::vector<SourceFile> &files, Linter &lint)
                           false);
     checkFieldsSerialized(files, lint, "ServingStats",
                           "servingStatsToJson", false);
+    // CSV coverage: a new serving or rack stat must not silently miss
+    // the CSV reports just because the JSON path carries it.
+    checkFieldsSerialized(files, lint, "ServingStats", "statsCsvRow",
+                          true);
+    checkFieldsSerialized(files, lint, "RackNodeStats", "rackCsvRow",
+                          true);
+    checkFieldsSerialized(files, lint, "RackStats", "rackCsvRow", true);
 }
 
 // ---------------------------------------------------------------------
@@ -609,11 +425,12 @@ ruleIncludeConvention(const std::vector<SourceFile> &files, Linter &lint)
     // Quoted includes must resolve against one of the two include
     // roots the build defines: src-relative for library headers
     // ("common/logging.hh") or repo-root-relative outside src/
-    // ("bench/bench_util.hh").  Anything else compiles only by
-    // accident of the including file's directory.
+    // ("bench/bench_util.hh", "tools/toleo_lint/phase_safety.hh").
+    // Anything else compiles only by accident of the including file's
+    // directory.
     static const std::set<std::string> allowed = {
-        "cache", "common", "crypto",   "mem",  "secmem",
-        "sim",   "toleo",  "workload", "bench"};
+        "cache", "common", "crypto",   "mem",   "secmem",
+        "sim",   "toleo",  "workload", "bench", "tools"};
     static const std::regex incRe(
         R"re(^\s*#\s*include\s+"([^"]+)")re");
     for (const auto &sf : files) {
@@ -723,6 +540,48 @@ ruleRawThread(const std::vector<SourceFile> &files, Linter &lint)
 }
 
 // ---------------------------------------------------------------------
+// Rule: phase-safety
+// ---------------------------------------------------------------------
+
+/** Degradation notes from the last phase-safety run (printed by
+ *  runRules; informational, never part of the exit status). */
+std::vector<std::string> gPhaseWarnings;
+/** Walk-coverage summary of the last phase-safety run. */
+std::string gPhaseSummary;
+
+void
+rulePhaseSafety(const std::vector<SourceFile> &files, Linter &lint)
+{
+    // Only library code carries the phase discipline; test/bench
+    // mocks would otherwise pollute the override sets.
+    std::vector<SourceFile> srcFiles;
+    for (const auto &sf : files)
+        if (sf.path.rfind("src/", 0) == 0)
+            srcFiles.push_back(sf);
+    if (srcFiles.empty())
+        return;
+    PhaseReport rep = toleo_lint::analyzePhaseSafety(srcFiles);
+    for (const auto &v : rep.violations) {
+        // Map back to the caller's SourceFile so allow() grants and
+        // finding paths refer to the real (unfiltered) file list.
+        for (const auto &sf : files) {
+            if (sf.path == v.file->path) {
+                lint.emit(sf, v.line, "phase-safety", v.message);
+                break;
+            }
+        }
+    }
+    for (const auto &w : rep.warnings)
+        gPhaseWarnings.push_back(w.file->path + ":" +
+                                 std::to_string(w.line) +
+                                 ": note: [phase-safety] " + w.message);
+    gPhaseSummary = "toleo_lint: phase-safety walked " +
+                    std::to_string(rep.functionsWalked) +
+                    " function(s) from " + std::to_string(rep.roots) +
+                    " phase(private) root(s)";
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -740,8 +599,77 @@ ruleTable()
         {"include-convention", ruleIncludeConvention},
         {"struct-init", ruleStructInit},
         {"raw-thread", ruleRawThread},
+        {"phase-safety", rulePhaseSafety},
     };
     return rules;
+}
+
+/** The meta-rule: reported after the others, never in the table. */
+const char *const kUnusedSuppression = "unused-suppression";
+
+std::vector<std::string>
+allRuleNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, fn] : ruleTable())
+        names.push_back(name);
+    names.push_back(kUnusedSuppression);
+    return names;
+}
+
+bool
+contains(const std::vector<std::string> &v, const std::string &s)
+{
+    return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/**
+ * Run the requested rules over an already-loaded tree and return the
+ * findings filtered to @p reportSet.  When unused-suppression is
+ * requested, every table rule runs first (an allow() can only be
+ * judged unused once everything it could suppress has fired), but
+ * only @p reportSet findings are returned -- that keeps per-rule
+ * ctest granularity cheap on top of a single load/strip pass.
+ */
+std::vector<Finding>
+runRuleSet(const std::vector<SourceFile> &files,
+           const std::vector<std::string> &reportSet)
+{
+    const bool wantUnused = contains(reportSet, kUnusedSuppression);
+    Linter lint;
+    std::vector<std::string> ran;
+    for (const auto &[name, fn] : ruleTable()) {
+        if (!wantUnused && !contains(reportSet, name))
+            continue;
+        fn(files, lint);
+        ran.push_back(name);
+    }
+    if (wantUnused) {
+        const std::vector<std::string> known = allRuleNames();
+        for (const auto &sf : files) {
+            for (const auto &site : sf.allowSites) {
+                if (!contains(known, site.rule)) {
+                    lint.emit(sf, site.line, kUnusedSuppression,
+                              "allow(" + site.rule +
+                                  ") references an unknown rule");
+                    continue;
+                }
+                if (site.rule != kUnusedSuppression &&
+                    !contains(ran, site.rule))
+                    continue;
+                if (!lint.allowUsed(sf, site))
+                    lint.emit(sf, site.line, kUnusedSuppression,
+                              "allow(" + site.rule +
+                                  ") suppressed nothing: remove the "
+                                  "stale annotation");
+            }
+        }
+    }
+    std::vector<Finding> out;
+    for (const auto &f : lint.findings)
+        if (contains(reportSet, f.rule))
+            out.push_back(f);
+    return out;
 }
 
 bool
@@ -788,21 +716,26 @@ loadTree(const fs::path &root)
 
 int
 runRules(const std::vector<SourceFile> &files,
-         const std::vector<std::string> &ruleNames)
+         const std::vector<std::string> &requested)
 {
-    Linter lint;
-    for (const auto &[name, fn] : ruleTable()) {
-        if (!ruleNames.empty() &&
-            std::find(ruleNames.begin(), ruleNames.end(), name) ==
-                ruleNames.end())
-            continue;
-        fn(files, lint);
-    }
-    for (const auto &f : lint.findings)
+    const std::vector<std::string> reportSet =
+        requested.empty() ? allRuleNames() : requested;
+    gPhaseWarnings.clear();
+    gPhaseSummary.clear();
+    const std::vector<Finding> findings = runRuleSet(files, reportSet);
+    if (!gPhaseSummary.empty())
+        std::cerr << gPhaseSummary << "\n";
+    for (const auto &w : gPhaseWarnings)
+        std::cerr << w << "\n";
+    if (!gPhaseWarnings.empty())
+        std::cerr << "toleo_lint: " << gPhaseWarnings.size()
+                  << " unknown-callee warning(s) (degraded, not "
+                     "findings)\n";
+    for (const auto &f : findings)
         std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
                   << f.message << "\n";
-    if (!lint.findings.empty()) {
-        std::cerr << "toleo_lint: " << lint.findings.size()
+    if (!findings.empty()) {
+        std::cerr << "toleo_lint: " << findings.size()
                   << " finding(s)\n";
         return 1;
     }
@@ -821,10 +754,10 @@ struct SelfCase
     std::vector<std::pair<std::string, std::string>> files;
 };
 
-int
-selfTest()
+const std::vector<SelfCase> &
+selfCases()
 {
-    const std::vector<SelfCase> cases = {
+    static const std::vector<SelfCase> cases = {
         {"nondeterminism",
          {{"src/bad.cc", "int f() { return std::rand(); }\n"
                          "long g() { return time(nullptr); }\n"
@@ -870,6 +803,27 @@ selfTest()
            "    Json j;\n"
            "    j[\"requests\"] = stats.requests;\n"
            "    return j;\n"
+           "}\n"
+           "std::string statsCsvRow(const ServingStats &stats) {\n"
+           "    return std::to_string(stats.requests);\n"
+           "}\n"}}},
+        // CSV emitters are held to the same standard: a scalar rack
+        // stat missing from rackCsvRow must fire even when the JSON
+        // serializer covers it.
+        {"stats-serialization",
+         {{"src/bad3.hh", "struct RackStats {\n"
+                          "    std::uint64_t epochs = 0;\n"
+                          "    double rackOnly = 0.0;\n"
+                          "};\n"},
+          {"src/bad3.cc",
+           "Json rackStatsToJson(const RackStats &stats) {\n"
+           "    Json j;\n"
+           "    j[\"epochs\"] = stats.epochs;\n"
+           "    j[\"rackOnly\"] = stats.rackOnly;\n"
+           "    return j;\n"
+           "}\n"
+           "std::string rackCsvRow(const RackStats &stats) {\n"
+           "    return std::to_string(stats.epochs);\n"
            "}\n"}}},
         {"include-convention",
          {{"src/bad.cc", "#include \"../sim/system.hh\"\n"}}},
@@ -883,20 +837,123 @@ selfTest()
            "#include <thread>\n"
            "void f() { std::thread t([] {}); t.join(); }\n"
            "void g() { auto r = std::async([] { return 1; }); }\n"}}},
+        // --- phase-safety violation shapes -------------------------
+        // Direct write to state(shared) from a phase(private) root.
+        {"phase-safety",
+         {{"src/phase_direct.hh",
+           "struct Sys {\n"
+           "  // toleo: state(shared)\n"
+           "  unsigned long total_ = 0;\n"
+           "  // toleo: phase(private)\n"
+           "  void privateCore(unsigned core);\n"
+           "};\n"
+           "void Sys::privateCore(unsigned core) {\n"
+           "  total_ += core;\n"
+           "}\n"}}},
+        // Write reached through a two-deep call chain.
+        {"phase-safety",
+         {{"src/phase_chain.hh",
+           "struct Sys {\n"
+           "  // toleo: state(shared)\n"
+           "  unsigned long total_ = 0;\n"
+           "  // toleo: phase(private)\n"
+           "  void privateCore(unsigned core);\n"
+           "  void helpA(unsigned c);\n"
+           "  void helpB(unsigned c);\n"
+           "};\n"
+           "void Sys::privateCore(unsigned core) { helpA(core); }\n"
+           "void Sys::helpA(unsigned c) { helpB(c); }\n"
+           "void Sys::helpB(unsigned c) { total_ = c; }\n"}}},
+        // Write reached through virtual dispatch: the root calls
+        // through a base pointer; only an override is dirty.
+        {"phase-safety",
+         {{"src/phase_virtual.hh",
+           "struct Counters {\n"
+           "  // toleo: state(shared)\n"
+           "  unsigned long hits = 0;\n"
+           "};\n"
+           "struct Gen {\n"
+           "  virtual void fill();\n"
+           "  virtual ~Gen();\n"
+           "};\n"
+           "struct BadGen : Gen {\n"
+           "  Counters *shared_;\n"
+           "  void fill() override;\n"
+           "};\n"
+           "struct Sys {\n"
+           "  Gen *gen_;\n"
+           "  // toleo: phase(private)\n"
+           "  void run();\n"
+           "};\n"
+           "void Sys::run() { gen_->fill(); }\n"
+           "void BadGen::fill() { shared_->hits++; }\n"}}},
+        // Const-laundering: a const method reached from the private
+        // phase casts constness away and writes shared state.
+        {"phase-safety",
+         {{"src/phase_launder.hh",
+           "struct Sys {\n"
+           "  // toleo: state(shared)\n"
+           "  unsigned long seen_ = 0;\n"
+           "  unsigned long peek() const;\n"
+           "  // toleo: phase(private)\n"
+           "  void probe();\n"
+           "};\n"
+           "void Sys::probe() { (void)peek(); }\n"
+           "unsigned long Sys::peek() const {\n"
+           "  const_cast<Sys *>(this)->seen_ = 1;\n"
+           "  return seen_;\n"
+           "}\n"}}},
+        // Calling into the shared phase from the private phase.
+        {"phase-safety",
+         {{"src/phase_cross.hh",
+           "struct Sys {\n"
+           "  // toleo: phase(shared)\n"
+           "  void replay();\n"
+           "  // toleo: phase(private)\n"
+           "  void core();\n"
+           "};\n"
+           "void Sys::core() { replay(); }\n"
+           "void Sys::replay() {}\n"}}},
+        // Non-const method call on a state(shared) member object.
+        {"phase-safety",
+         {{"src/phase_nonconst.hh",
+           "struct Pool {\n"
+           "  void reset();\n"
+           "  unsigned long size() const;\n"
+           "};\n"
+           "struct Sys {\n"
+           "  // toleo: state(shared)\n"
+           "  Pool pool_;\n"
+           "  // toleo: phase(private)\n"
+           "  void core();\n"
+           "};\n"
+           "void Sys::core() { pool_.reset(); (void)pool_.size(); }\n"}}},
+        // Mutating a stats struct field from the private phase.
+        {"phase-safety",
+         {{"src/phase_stats.hh",
+           "struct SimStats { unsigned long refs = 0; };\n"
+           "struct Sys {\n"
+           "  SimStats stats_;\n"
+           "  // toleo: phase(private)\n"
+           "  void core();\n"
+           "};\n"
+           "void Sys::core() { stats_.refs += 1; }\n"}}},
     };
+    return cases;
+}
 
+int
+selfTest()
+{
     int failures = 0;
-    for (const auto &c : cases) {
+    for (const auto &c : selfCases()) {
         std::vector<SourceFile> files;
         for (const auto &[path, text] : c.files)
             files.push_back(makeSourceFile(path, text));
-        Linter lint;
-        for (const auto &[name, fn] : ruleTable())
-            if (name == c.rule)
-                fn(files, lint);
-        if (lint.findings.empty()) {
+        if (runRuleSet(files, {c.rule}).empty()) {
             std::cerr << "self-test FAIL: rule '" << c.rule
-                      << "' missed its known-bad snippet\n";
+                      << "' missed its known-bad snippet ("
+                      << c.files.front().first << ")\n";
             ++failures;
         }
 
@@ -910,19 +967,107 @@ selfTest()
                     l + " // toleo-lint: allow(" + c.rule + ")\n";
             suppressed.push_back(makeSourceFile(path, annotated));
         }
-        Linter lint2;
-        for (const auto &[name, fn] : ruleTable())
-            if (name == c.rule)
-                fn(suppressed, lint2);
-        if (!lint2.findings.empty()) {
+        if (!runRuleSet(suppressed, {c.rule}).empty()) {
             std::cerr << "self-test FAIL: rule '" << c.rule
-                      << "' ignored allow() suppressions\n";
+                      << "' ignored allow() suppressions ("
+                      << c.files.front().first << ")\n";
             ++failures;
         }
     }
+
+    // Degradation: constructs the resolver cannot see through must
+    // surface as unknown-callee warnings, never as silent certainty
+    // (and never as false violations).
+    {
+        std::vector<SourceFile> files;
+        files.push_back(makeSourceFile(
+            "src/phase_macro.hh",
+            "struct Sys {\n"
+            "  // toleo: phase(private)\n"
+            "  void core();\n"
+            "};\n"
+            "void Sys::core() { TOLEO_MAGIC(1); }\n"));
+        PhaseReport rep = toleo_lint::analyzePhaseSafety(files);
+        if (!rep.violations.empty() || rep.warnings.empty()) {
+            std::cerr << "self-test FAIL: phase-safety macro call must "
+                         "degrade to a warning (got "
+                      << rep.violations.size() << " violations, "
+                      << rep.warnings.size() << " warnings)\n";
+            ++failures;
+        }
+    }
+
+    // A clean, fully annotated snippet must stay silent end to end.
+    {
+        std::vector<SourceFile> files;
+        files.push_back(makeSourceFile(
+            "src/phase_clean.hh",
+            "struct Sys {\n"
+            "  // toleo: state(per-core)\n"
+            "  unsigned long perCore_[8];\n"
+            "  // toleo: state(shared)\n"
+            "  unsigned long total_ = 0;\n"
+            "  // toleo: phase(private)\n"
+            "  void core(unsigned c);\n"
+            "  // toleo: phase(shared)\n"
+            "  void replay();\n"
+            "};\n"
+            "void Sys::core(unsigned c) { perCore_[c] += 1; }\n"
+            "void Sys::replay() { total_ += 1; }\n"));
+        if (!runRuleSet(files, {"phase-safety"}).empty()) {
+            std::cerr << "self-test FAIL: phase-safety flagged a clean "
+                         "annotated snippet\n";
+            ++failures;
+        }
+    }
+
+    // Unused suppressions: an allow() that suppressed nothing is
+    // itself a finding, and is silenced by allow(unused-suppression)
+    // on the same line.
+    {
+        std::vector<SourceFile> files;
+        files.push_back(makeSourceFile(
+            "src/stale.cc",
+            "int clean() { return 1; } // toleo-lint: "
+            "allow(nondeterminism)\n"));
+        const auto findings =
+            runRuleSet(files, {kUnusedSuppression});
+        bool ok = findings.size() == 1 &&
+                  findings.front().rule == kUnusedSuppression;
+        if (!ok) {
+            std::cerr << "self-test FAIL: unused-suppression missed a "
+                         "stale allow()\n";
+            ++failures;
+        }
+        std::vector<SourceFile> suppressed;
+        suppressed.push_back(makeSourceFile(
+            "src/stale.cc",
+            "int clean() { return 1; } // toleo-lint: "
+            "allow(nondeterminism) // toleo-lint: "
+            "allow(unused-suppression)\n"));
+        if (!runRuleSet(suppressed, {kUnusedSuppression}).empty()) {
+            std::cerr << "self-test FAIL: unused-suppression ignored "
+                         "its own allow()\n";
+            ++failures;
+        }
+        // And a *used* allow() must not be reported.
+        std::vector<SourceFile> used;
+        used.push_back(makeSourceFile(
+            "src/used.cc",
+            "int f() { return std::rand(); } // toleo-lint: "
+            "allow(nondeterminism)\n"));
+        if (!runRuleSet(used, {kUnusedSuppression}).empty()) {
+            std::cerr << "self-test FAIL: unused-suppression flagged a "
+                         "working allow()\n";
+            ++failures;
+        }
+    }
+
     if (failures == 0) {
-        std::cout << "self-test OK: " << cases.size()
-                  << " rule families fire and suppress correctly\n";
+        std::cout << "self-test OK: " << selfCases().size()
+                  << " rule cases fire and suppress correctly; "
+                     "degradation, clean-tree, and unused-suppression "
+                     "checks hold\n";
         return 0;
     }
     return 1;
@@ -932,10 +1077,12 @@ void
 usage()
 {
     std::cerr
-        << "usage: toleo_lint --root DIR [--rule NAME]... \n"
+        << "usage: toleo_lint --root DIR [--rule NAME[,NAME...]]...\n"
         << "       toleo_lint --list-rules | --self-test\n"
         << "Scans DIR/{src,tools,bench,examples,tests} for determinism\n"
-        << "hazards.  Exit 0 = clean, 1 = findings, 2 = usage error.\n";
+        << "hazards.  The tree is loaded once; --rule filters which\n"
+        << "rule families are reported.  Exit 0 = clean, 1 = findings,\n"
+        << "2 = usage error.\n";
 }
 
 } // namespace
@@ -951,9 +1098,13 @@ main(int argc, char **argv)
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
         } else if (arg == "--rule" && i + 1 < argc) {
-            rules.push_back(argv[++i]);
+            std::stringstream ss(argv[++i]);
+            std::string name;
+            while (std::getline(ss, name, ','))
+                if (!name.empty())
+                    rules.push_back(name);
         } else if (arg == "--list-rules") {
-            for (const auto &[name, fn] : ruleTable())
+            for (const auto &name : allRuleNames())
                 std::cout << name << "\n";
             return 0;
         } else if (arg == "--self-test") {
@@ -969,11 +1120,9 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    const std::vector<std::string> known = allRuleNames();
     for (const auto &r : rules) {
-        bool known = false;
-        for (const auto &[name, fn] : ruleTable())
-            known = known || name == r;
-        if (!known) {
+        if (std::find(known.begin(), known.end(), r) == known.end()) {
             std::cerr << "toleo_lint: unknown rule '" << r << "'\n";
             return 2;
         }

@@ -94,7 +94,8 @@ usage(const char *argv0)
         "                    sharing one Toleo device (node i seeds\n"
         "                    with seed+i); emits one RackStats record\n"
         "                    per cell with device-side contention\n"
-        "                    (JSON only; default: 1 = single node)\n"
+        "                    (JSON, or one CSV row per node with\n"
+        "                    --format csv; default: 1 = single node)\n"
         "  --rack-service G  shared-device service bandwidth in GB/s\n"
         "                    (default: 0 = auto, 1.5x the node link)\n"
         "  --arrival SPEC    request arrival model: 'closed' (the\n"
@@ -370,6 +371,17 @@ emitCsv(const std::vector<SimStats> &results, std::ostream &os)
         os << statsCsvRow(stats) << "\n";
 }
 
+/** One row per (cell, node); rack-level scalars are denormalized
+ *  onto every node row (see rackCsvHeader in sim/rack.hh). */
+void
+emitRackCsv(const std::vector<RackStats> &results, std::ostream &os)
+{
+    os << rackCsvHeader() << "\n";
+    for (const auto &stats : results)
+        for (std::size_t n = 0; n < stats.nodes.size(); ++n)
+            os << rackCsvRow(stats, n) << "\n";
+}
+
 /** Simulated references per cell: warmup + measurement, all cores. */
 std::uint64_t
 cellRefs(const SweepOptions &opts)
@@ -621,9 +633,6 @@ main(int argc, char **argv)
         if (!opts.sweep.recordTracePath.empty())
             fatal("--record-trace is not supported with --rack "
                   "(every node would clobber one capture)");
-        if (opts.format == "csv")
-            fatal("--rack emits nested RackStats records; "
-                  "--format csv is not supported in rack mode");
         // Fail an under-provisioned explicit service bandwidth here,
         // in milliseconds, instead of letting every cell throw the
         // same std::invalid_argument deep inside runRack.  The node
@@ -791,7 +800,9 @@ main(int argc, char **argv)
     if (!opts.benchBig.empty())
         bigCell = runBenchBig(opts);
 
-    if (rack)
+    if (rack && opts.format == "csv")
+        emitRackCsv(rackResults, os);
+    else if (rack)
         emitRackJson(opts, cells, rackResults, wall_seconds, os);
     else if (opts.bench)
         emitBench(opts, cells, results, cell_seconds, cell_phases,
