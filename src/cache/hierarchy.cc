@@ -101,10 +101,22 @@ CacheHierarchy::llcWritebacks() const
 void
 CacheHierarchy::resetStats()
 {
+    resetStatsPrivate();
+    resetStatsShared();
+}
+
+void
+CacheHierarchy::resetStatsPrivate()
+{
     for (auto &c : l1_)
         c.resetStats();
     for (auto &c : l2_)
         c.resetStats();
+}
+
+void
+CacheHierarchy::resetStatsShared()
+{
     for (auto &c : l3_)
         c.resetStats();
 }

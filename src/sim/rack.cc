@@ -6,9 +6,37 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/intra_pool.hh"
 #include "toleo/ide_channel.hh"
 
 namespace toleo {
+
+/**
+ * Node-private half of one rack epoch step: generator draws, L1/L2,
+ * footprint and serving-boundary staging.  This is the body the rack
+ * pool runs for all live nodes concurrently, and the phase-safety
+ * walk root that proves it never touches the shared device, the
+ * arbiter, or any other node's state.
+ */
+// toleo: phase(private)
+bool
+rackNodeStepPrivate(System &sys)
+{
+    return sys.stepEpochPrivate();
+}
+
+/**
+ * Shared half of the same epoch step: device/arbiter-visible replay.
+ * Always runs serially, in strict node order, with the node's device
+ * port selected -- the deterministic global operation sequence the
+ * rack contract pins.
+ */
+// toleo: phase(shared)
+void
+rackNodeReplayShared(System &sys)
+{
+    sys.replayEpochShared();
+}
 
 RackConfig
 makeRackConfig(unsigned nodes, const SystemConfig &base)
@@ -49,6 +77,33 @@ runRack(const RackConfig &cfg)
             "runRack: deviceServiceGBps below the fastest node's "
             "Toleo link bandwidth");
 
+    // The rack-wide serving aggregate (counts summed, percentiles
+    // from merged histograms) only has one meaning when every node
+    // runs the same arrival model against the same SLO: a rack mixing
+    // open and closed nodes, or poisson and burst nodes, or different
+    // SLO thresholds, has no single "rack SLO attainment".  Reject
+    // such configs up front instead of silently reporting whichever
+    // node happened to be aggregated last.  Per-node *rates* may
+    // differ: they sum into the rack-wide offered rate.
+    const ArrivalConfig &a0 = cfg.nodes[0].arrival;
+    for (unsigned i = 1; i < n; ++i) {
+        const ArrivalConfig &ai = cfg.nodes[i].arrival;
+        if (ai.kind != a0.kind)
+            throw std::invalid_argument(
+                "runRack: mixed per-node arrival models (node 0 is " +
+                std::string(arrivalKindName(a0.kind)) + ", node " +
+                std::to_string(i) + " is " +
+                std::string(arrivalKindName(ai.kind)) +
+                "); a rack-wide serving aggregate requires one model");
+        if (a0.open() && ai.sloUs != a0.sloUs)
+            throw std::invalid_argument(
+                "runRack: mixed per-node SLO thresholds (node 0 has " +
+                std::to_string(a0.sloUs) + " us, node " +
+                std::to_string(i) + " has " +
+                std::to_string(ai.sloUs) +
+                " us); rack SLO attainment requires one threshold");
+    }
+
     ToleoDevice device(cfg.device);
     for (unsigned i = 1; i < n; ++i)
         device.addInitiator();
@@ -69,21 +124,52 @@ runRack(const RackConfig &cfg)
     for (unsigned i = 0; i < n; ++i)
         systems[i]->beginRun(cfg.warmupRefs, cfg.measureRefs);
 
-    std::vector<bool> alive(n, true);
+    // Node pool for the private epoch halves.  rackThreads == 1 (the
+    // default) takes the historic one-call stepEpoch() path below --
+    // not a pool of one -- so the serial binary is exactly unchanged.
+    const unsigned rackThreads =
+        std::min(std::max(1u, cfg.rackThreads), n);
+    std::unique_ptr<IntraPool> rackPool;
+    if (rackThreads > 1)
+        rackPool = std::make_unique<IntraPool>(rackThreads);
+
+    // Plain byte flags, not std::vector<bool>: the pool writes
+    // stepped[] from different threads, and vector<bool>'s packed
+    // bits would race even though the nodes are disjoint.
+    std::vector<unsigned char> alive(n, 1);
+    std::vector<unsigned char> stepped(n, 0);
     for (bool anyAlive = true; anyAlive;) {
         anyAlive = false;
 
         // Step every live node one traffic epoch, strictly in node
         // order: the shared store (and its reset RNG) sees one
-        // deterministic global operation sequence.
+        // deterministic global operation sequence.  With a rack pool,
+        // the node-private halves (lint-proven free of shared-device
+        // access) run concurrently first; the device/arbiter-visible
+        // replay below still runs serially in node order either way,
+        // so the device observes the identical operation sequence for
+        // any rackThreads value.
         device.beginInitiatorEpoch();
+        if (rackPool) {
+            rackPool->run(n, [&](unsigned i) {
+                if (alive[i])
+                    stepped[i] =
+                        rackNodeStepPrivate(*systems[i]) ? 1 : 0;
+            });
+        }
         double epochNs = 0.0;
         std::uint64_t offered = 0;
         for (unsigned i = 0; i < n; ++i) {
             if (!alive[i])
                 continue;
             device.setActiveInitiator(i);
-            const bool more = systems[i]->stepEpoch();
+            bool more;
+            if (rackPool) {
+                rackNodeReplayShared(*systems[i]);
+                more = stepped[i] != 0;
+            } else {
+                more = systems[i]->stepEpoch();
+            }
             // The step that retires a node still closed its final
             // epoch; its traffic competes like any other.
             const std::uint64_t bytes =
@@ -146,39 +232,49 @@ runRack(const RackConfig &cfg)
     // Rack-wide serving aggregate: counts and rates sum over nodes,
     // percentiles are recomputed from the merged histograms (exact,
     // not an average of per-node percentiles), and the span is the
-    // slowest node's.  Per-request means are request-weighted.
-    double servLatW = 0.0, servQueueW = 0.0, servSvcW = 0.0;
-    for (unsigned i = 0; i < n; ++i) {
-        const ServingStats &ns = out.nodes[i].sim.serving;
-        if (ns.arrival.empty())
-            continue;
+    // slowest node's.  Per-request means are request-weighted.  The
+    // up-front validation guarantees every node ran the same arrival
+    // model and SLO, so the scalars identifying the aggregate are set
+    // once from node 0 instead of being overwritten per node; only
+    // the rates differ per node, and those sum into the rack-wide
+    // offered rate by definition.
+    if (a0.open()) {
         ServingStats &rs = out.serving;
-        rs.arrival = ns.arrival;
-        rs.sloUs = ns.sloUs;
-        rs.offeredRatePerSec += ns.offeredRatePerSec;
-        rs.requests += ns.requests;
-        rs.sloMet += ns.sloMet;
-        rs.spanSeconds = std::max(rs.spanSeconds, ns.spanSeconds);
-        rs.offeredRps += ns.offeredRps;
-        rs.completedRps += ns.completedRps;
-        rs.goodputRps += ns.goodputRps;
-        const double w = static_cast<double>(ns.requests);
-        servLatW += ns.meanLatencyUs * w;
-        servQueueW += ns.meanQueueUs * w;
-        servSvcW += ns.meanServiceUs * w;
-        rs.latency.merge(ns.latency);
-    }
-    if (!out.serving.arrival.empty() && out.serving.requests > 0) {
-        ServingStats &rs = out.serving;
-        const double total = static_cast<double>(rs.requests);
-        rs.sloAttainment = static_cast<double>(rs.sloMet) / total;
-        rs.meanLatencyUs = servLatW / total;
-        rs.meanQueueUs = servQueueW / total;
-        rs.meanServiceUs = servSvcW / total;
-        rs.p50LatencyUs = rs.latency.percentileNs(0.50) * 1e-3;
-        rs.p99LatencyUs = rs.latency.percentileNs(0.99) * 1e-3;
-        rs.p999LatencyUs = rs.latency.percentileNs(0.999) * 1e-3;
-        rs.maxLatencyUs = rs.latency.maxNs() * 1e-3;
+        rs.arrival = out.nodes[0].sim.serving.arrival;
+        rs.sloUs = a0.sloUs;
+        double servLatW = 0.0, servQueueW = 0.0, servSvcW = 0.0;
+        for (unsigned i = 0; i < n; ++i) {
+            const ServingStats &ns = out.nodes[i].sim.serving;
+            rs.offeredRatePerSec += ns.offeredRatePerSec;
+            rs.requests += ns.requests;
+            rs.sloMet += ns.sloMet;
+            rs.spanSeconds = std::max(rs.spanSeconds, ns.spanSeconds);
+            rs.offeredRps += ns.offeredRps;
+            rs.completedRps += ns.completedRps;
+            rs.goodputRps += ns.goodputRps;
+            // A node that completed zero requests (window too short
+            // for its rate) reports zero means; weight 0 keeps it out
+            // of the rack means without poisoning them with NaNs.
+            const double w = static_cast<double>(ns.requests);
+            servLatW += ns.meanLatencyUs * w;
+            servQueueW += ns.meanQueueUs * w;
+            servSvcW += ns.meanServiceUs * w;
+            rs.latency.merge(ns.latency);
+        }
+        // With zero requests rack-wide, every mean/attainment/
+        // percentile field keeps its zero default -- defined output,
+        // no 0/0.
+        if (rs.requests > 0) {
+            const double total = static_cast<double>(rs.requests);
+            rs.sloAttainment = static_cast<double>(rs.sloMet) / total;
+            rs.meanLatencyUs = servLatW / total;
+            rs.meanQueueUs = servQueueW / total;
+            rs.meanServiceUs = servSvcW / total;
+            rs.p50LatencyUs = rs.latency.percentileNs(0.50) * 1e-3;
+            rs.p99LatencyUs = rs.latency.percentileNs(0.99) * 1e-3;
+            rs.p999LatencyUs = rs.latency.percentileNs(0.999) * 1e-3;
+            rs.maxLatencyUs = rs.latency.maxNs() * 1e-3;
+        }
     }
 
     out.deviceGrantedBytes = arbiter.totalGrantedBytes();

@@ -23,9 +23,11 @@
  *    same SystemConfig through System::run() -- the shared device
  *    with a single initiator, the epoch-stepped loop, and a zero
  *    contention stall are all exact no-ops;
- *  - rack runs are byte-identical across repeated runs and across
- *    sweep worker counts (integer-only arbitration, fixed node
- *    order).
+ *  - rack runs are byte-identical across repeated runs, across
+ *    sweep worker counts, and across RackConfig::rackThreads values
+ *    (integer-only arbitration, fixed node order; the node-private
+ *    epoch halves touch disjoint state and all shared-device work
+ *    replays serially in node order).
  */
 
 #ifndef TOLEO_SIM_RACK_HH
@@ -61,6 +63,19 @@ struct RackConfig
     /** Per-core warmup / measured references, as in System::run. */
     std::uint64_t warmupRefs = 30000;
     std::uint64_t measureRefs = 60000;
+
+    /**
+     * Worker threads for the node-private half of each rack epoch
+     * (`--rack-threads`).  Each epoch splits per node into a private
+     * sub-phase (generator draws, L1/L2, staging -- no shared-device
+     * access; System::stepEpochPrivate) that the pool runs for all
+     * live nodes concurrently, and a shared sub-phase (device/arbiter
+     * replay; System::replayEpochShared) that always runs serially in
+     * strict node order.  1 (the default) takes exactly the historic
+     * serial stepEpoch() path; any value yields bit-identical
+     * rackStatsToJson output.  Clamped to the node count.
+     */
+    unsigned rackThreads = 1;
 };
 
 /**

@@ -193,11 +193,14 @@ runRackSweepCell(const SweepCell &cell, const SweepOptions &opts)
     base.tracePath = opts.tracePath;
     // makeRackConfig clones the base config per node, so every
     // node's private phase gets the same intra-cell pool size; the
-    // nodes themselves still step serially (determinism).
+    // nodes' shared-device work still replays serially in node order
+    // even when rackThreads overlaps their private halves
+    // (determinism).
     base.intraThreads = opts.intraThreads;
     base.arrival = opts.arrival;
     RackConfig rc = makeRackConfig(opts.rackNodes, base);
     rc.deviceServiceGBps = opts.rackServiceGBps;
+    rc.rackThreads = opts.rackThreads;
     rc.warmupRefs = opts.warmupRefs;
     rc.measureRefs = opts.measureRefs;
     return runRack(rc);

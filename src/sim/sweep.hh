@@ -68,6 +68,15 @@ struct SweepOptions
     /** Shared-device service bandwidth, GB/s; 0 = auto (rack.hh). */
     double rackServiceGBps = 0.0;
     /**
+     * Rack mode only: worker threads for the node-private epoch
+     * halves inside each rack cell (RackConfig::rackThreads).  A
+     * third multiplicative tier between jobs and intraThreads: a rack
+     * sweep can run up to jobs x rackThreads x intraThreads threads
+     * at once, and the CLI budgets that product against the host.
+     * Statistics are bit-identical for any value.
+     */
+    unsigned rackThreads = 1;
+    /**
      * Request arrival model (SystemConfig::arrival), applied to every
      * cell.  The default closed model reproduces the classic replay
      * byte-for-byte; open models add ServingStats on top.

@@ -212,11 +212,11 @@ System::maxCoreTimeNs() const
 }
 
 void
-System::stepShared(unsigned core, const MemRef &ref,
+System::stepShared(unsigned core, Addr addr,
                    const PrivateAccessResult &priv)
 {
     HierarchyResult res;
-    hierarchy_.accessShared(core, blockOf(ref.addr), priv, res);
+    hierarchy_.accessShared(core, blockOf(addr), priv, res);
 
     // Dirty victims leaving the chip: off the read critical path but
     // they generate data + metadata traffic and version updates.
@@ -231,13 +231,13 @@ System::stepShared(unsigned core, const MemRef &ref,
     if (!res.llcMiss)
         return;
 
-    const PageNum page = pageOf(ref.addr);
+    const PageNum page = pageOf(addr);
 
     // Data fill.  Resolve the page's home channel once for both the
     // traffic accounting and the latency lookup.
     const MemTopology::Route route = topo_.routeFor(page);
     topo_.addTraffic(route, blockSize);
-    MetaCost mc = engine_->onRead(blockOf(ref.addr));
+    MetaCost mc = engine_->onRead(blockOf(addr));
     metaBytes_ += mc.metaBytes;
     const double dram_ns = topo_.latencyNs(route);
     const double total_ns = dram_ns + mc.latencyNs;
@@ -321,7 +321,7 @@ System::privateCore(unsigned core, std::uint64_t rounds)
 }
 
 void
-System::stepRounds(std::uint64_t rounds)
+System::stepRounds(std::uint64_t rounds, bool measuring)
 {
     const unsigned cores = cfg_.numCores;
     const bool timing = cfg_.phaseTimers;
@@ -368,14 +368,15 @@ System::stepRounds(std::uint64_t rounds)
                 const SharedEvent &ev = evBuf_[c * batchRounds + pos];
                 if (ev.round != k)
                     continue;
-                stepShared(c, refBuf_[c * batchRounds + k], ev.priv);
+                stepShared(c, refBuf_[c * batchRounds + k].addr,
+                           ev.priv);
                 evPos_[c] = pos + 1;
             }
             // Requests ending at round k complete here: the round's
             // shared work has been replayed, so each boundary core's
             // stall clock is final for this point in time.
             if (serving_)
-                finalizeServingRound(k);
+                finalizeServingRound(k, measuring);
         }
 
         if (timing) {
@@ -387,25 +388,100 @@ System::stepRounds(std::uint64_t rounds)
 }
 
 void
-System::finalizeServingRound(std::uint64_t k)
+System::stageRounds(std::uint64_t rounds, bool measuring)
+{
+    const unsigned cores = cfg_.numCores;
+    const bool timing = cfg_.phaseTimers;
+    while (rounds > 0) {
+        const std::uint64_t n = std::min(rounds, batchRounds);
+
+        const double t0 = benchNowNs(timing);
+
+        // Same private phase as stepRounds: draws, L1/L2, per-core
+        // event queues, footprint and serving-boundary staging.
+        if (intraPool_) {
+            intraPool_->run(cores,
+                            [this, n](unsigned c) { privateCore(c, n); });
+            for (unsigned c = 0; c < cores; ++c) {
+                for (PageNum page : footprintStage_[c])
+                    // Node-local serialization: footprint_ belongs to
+                    // this System alone and the rack pool runs one
+                    // thread per System, so this merge -- like the
+                    // direct insert in privateCore -- cannot race
+                    // across nodes; it is the same merge stepRounds
+                    // performs, at the same point in the batch.
+                    footprint_.insert(page); // toleo-lint: allow(phase-safety)
+                footprintStage_[c].clear();
+            }
+        } else {
+            for (unsigned c = 0; c < cores; ++c)
+                privateCore(c, n);
+        }
+
+        // Flatten this batch's per-core queues into the staged epoch
+        // log -- the identical (round, core) n-way merge stepRounds
+        // replays, minus the stepShared calls.  Rounds are renumbered
+        // globally across the epoch so the replay is one linear scan.
+        for (std::uint64_t k = 0; k < n; ++k) {
+            for (unsigned c = 0; c < cores; ++c) {
+                const std::uint32_t pos = evPos_[c];
+                if (pos >= evCount_[c])
+                    continue;
+                const SharedEvent &ev = evBuf_[c * batchRounds + pos];
+                if (ev.round != k)
+                    continue;
+                stagedEvents_.push_back(
+                    {stageRoundBase_ + k, c,
+                     refBuf_[c * batchRounds + k].addr, ev.priv});
+                evPos_[c] = pos + 1;
+            }
+            if (serving_ && measuring) {
+                // Warmup boundaries are not staged: completeRequest
+                // ignores them (measuring snapshot false), so the
+                // replay stream carries only live completions.
+                for (unsigned c = 0; c < cores; ++c) {
+                    auto &sv = servCores_[c];
+                    while (sv.pos < sv.boundaries.size() &&
+                           sv.boundaries[sv.pos].round == k) {
+                        stagedBoundaries_.push_back(
+                            {stageRoundBase_ + k, c,
+                             sv.boundaries[sv.pos].insts});
+                        ++sv.pos;
+                    }
+                }
+            }
+        }
+        stageRoundBase_ += n;
+
+        if (timing)
+            phases_.privateNs += benchNowNs(true) - t0;
+        rounds -= n;
+    }
+}
+
+void
+System::finalizeServingRound(std::uint64_t k, bool measuring)
 {
     for (unsigned c = 0; c < cfg_.numCores; ++c) {
         auto &sv = servCores_[c];
         while (sv.pos < sv.boundaries.size() &&
                sv.boundaries[sv.pos].round == k) {
-            completeRequest(c, sv.boundaries[sv.pos].insts);
+            completeRequest(c, sv.boundaries[sv.pos].insts, measuring);
             ++sv.pos;
         }
     }
 }
 
 void
-System::completeRequest(unsigned core, std::uint64_t instsAtDone)
+System::completeRequest(unsigned core, std::uint64_t instsAtDone,
+                        bool measuring)
 {
     // Warmup requests are ignored; the first boundary after the stats
     // reset only primes the service-time mark (the request it closes
     // spans the reset, so its duration is not a full request's).
-    if (!runMeasuring_)
+    // The flag is the planner's per-chunk snapshot of runMeasuring_,
+    // which planEpoch advances before any chunk executes.
+    if (!measuring)
         return;
     auto &sv = servCores_[core];
     const double now = static_cast<double>(instsAtDone) /
@@ -456,9 +532,30 @@ System::resetServing()
 void
 System::resetMeasurement()
 {
+    resetMeasurementPrivate();
+    resetMeasurementShared();
+}
+
+void
+System::resetMeasurementPrivate()
+{
+    // Per-core half only: the instruction clocks feed the private
+    // phase's serving-boundary staging, so the staged path must zero
+    // them at the reset's position in the *private* pass.  Everything
+    // the shared replay owns resets in resetMeasurementShared().
+    hierarchy_.resetStatsPrivate();
+    std::fill(coreInsts_.begin(), coreInsts_.end(), 0);
+}
+
+void
+System::resetMeasurementShared()
+{
+    // The serving overlay resets here as a whole: its per-core
+    // Lindley state (arrival/done clocks, priming) is mutated only by
+    // completeRequest, i.e. by the shared replay.
     if (serving_)
         resetServing();
-    hierarchy_.resetStats();
+    hierarchy_.resetStatsShared();
     topo_.resetStats();
     engine_->stats().reset();
     if (toleoEngine_)
@@ -468,7 +565,6 @@ System::resetMeasurement()
     metaBytes_ = 0;
     // The footprint is intentionally *not* reset: it models the RSS,
     // which accumulates from process start (Section 7.2).
-    std::fill(coreInsts_.begin(), coreInsts_.end(), 0);
     std::fill(coreStallNs_.begin(), coreStallNs_.end(), 0.0);
 }
 
@@ -533,6 +629,8 @@ System::beginRun(std::uint64_t warmup_refs, std::uint64_t measure_refs)
         1, measure_refs / cfg_.timelinePoints);
     runMeasuring_ = false;
     runActive_ = true;
+    plan_.clear();
+    pendingReplay_ = false;
     runStats_ = SimStats{};
     if (serving_)
         resetServing();
@@ -542,29 +640,27 @@ System::beginRun(std::uint64_t warmup_refs, std::uint64_t measure_refs)
 }
 
 bool
-System::stepEpoch()
+System::planEpoch()
 {
-    if (!runActive_)
-        return false;
+    plan_.clear();
 
     // Warmup: fill caches and version state, then reset stats.  The
     // phase transition is not an epoch boundary; when warmup ends
     // mid-epoch, measurement continues the same epoch.
     while (!runMeasuring_) {
         if (runPhaseRefs_ >= runWarmupRefs_) {
-            resetMeasurement();
-            runLastEpochNs_ = 0.0;
+            plan_.push_back({EpochPlanItem::Kind::Reset, false, 0});
             runMeasuring_ = true;
             runPhaseRefs_ = 0;
             break;
         }
         const std::uint64_t chunk = std::min(
             runWarmupRefs_ - runPhaseRefs_, roundsToEpoch());
-        stepRounds(chunk);
+        plan_.push_back({EpochPlanItem::Kind::Run, false, chunk});
         runGlobalRefs_ += chunk * cfg_.numCores;
         runPhaseRefs_ += chunk;
         if (runGlobalRefs_ - runEpochMark_ >= cfg_.epochRefs) {
-            epochBoundary();
+            plan_.push_back({EpochPlanItem::Kind::Boundary, false, 0});
             runEpochMark_ = runGlobalRefs_;
             return true;
         }
@@ -588,26 +684,19 @@ System::stepEpoch()
                 sample_due = true;
             }
         }
-        stepRounds(chunk);
+        plan_.push_back({EpochPlanItem::Kind::Run, true, chunk});
         runGlobalRefs_ += chunk * cfg_.numCores;
         runPhaseRefs_ += chunk;
         bool fired = false;
         if (runGlobalRefs_ - runEpochMark_ >= cfg_.epochRefs) {
-            epochBoundary();
+            plan_.push_back({EpochPlanItem::Kind::Boundary, false, 0});
             runEpochMark_ = runGlobalRefs_;
             fired = true;
         }
-        if (sample_due) {
-            std::uint64_t insts = 0;
-            for (unsigned c = 0; c < cfg_.numCores; ++c)
-                insts += coreInsts_[c];
-            // Usage = statically mapped flat entries for the RSS
-            // (the touched footprint) + dynamic entries (Fig 12).
-            const std::uint64_t usage =
-                footprint_.size() * flatEntryBytes +
-                devp_->store().dynamicBytes();
-            runStats_.usageTimeline.emplace_back(insts, usage);
-        }
+        // Order matters and matches the historical loop: a sample
+        // due on a boundary round records *after* the boundary.
+        if (sample_due)
+            plan_.push_back({EpochPlanItem::Kind::Sample, false, 0});
         if (fired)
             return true;
     }
@@ -615,9 +704,162 @@ System::stepEpoch()
     // Window exhausted: close the final (possibly partial) epoch --
     // the same unconditional boundary the monolithic run() ended
     // with -- and report completion.
-    epochBoundary();
+    plan_.push_back({EpochPlanItem::Kind::Boundary, false, 0});
     runActive_ = false;
     return false;
+}
+
+void
+System::recordTimelineSample(std::uint64_t insts,
+                             std::uint64_t footprintPages)
+{
+    // Usage = statically mapped flat entries for the RSS (the
+    // touched footprint) + dynamic entries (Fig 12).
+    const std::uint64_t usage = footprintPages * flatEntryBytes +
+                                devp_->store().dynamicBytes();
+    runStats_.usageTimeline.emplace_back(insts, usage);
+}
+
+bool
+System::stepEpoch()
+{
+    if (!runActive_)
+        return false;
+    if (pendingReplay_)
+        throw std::logic_error(
+            "System::stepEpoch: a staged epoch awaits "
+            "replayEpochShared()");
+
+    const bool more = planEpoch();
+    for (const EpochPlanItem &item : plan_) {
+        switch (item.kind) {
+          case EpochPlanItem::Kind::Run:
+            stepRounds(item.rounds, item.measuring);
+            break;
+          case EpochPlanItem::Kind::Reset:
+            resetMeasurement();
+            runLastEpochNs_ = 0.0;
+            break;
+          case EpochPlanItem::Kind::Boundary:
+            epochBoundary();
+            break;
+          case EpochPlanItem::Kind::Sample: {
+            std::uint64_t insts = 0;
+            for (unsigned c = 0; c < cfg_.numCores; ++c)
+                insts += coreInsts_[c];
+            recordTimelineSample(insts, footprint_.size());
+            break;
+          }
+        }
+    }
+    return more;
+}
+
+bool
+System::stepEpochPrivate()
+{
+    if (!runActive_)
+        return false;
+    if (pendingReplay_)
+        throw std::logic_error(
+            "System::stepEpochPrivate: a staged epoch awaits "
+            "replayEpochShared()");
+
+    const bool more = planEpoch();
+    stagedEvents_.clear();
+    stagedBoundaries_.clear();
+    stagedSamples_.clear();
+    stageRoundBase_ = 0;
+    for (const EpochPlanItem &item : plan_) {
+        switch (item.kind) {
+          case EpochPlanItem::Kind::Run:
+            stageRounds(item.rounds, item.measuring);
+            break;
+          case EpochPlanItem::Kind::Reset:
+            resetMeasurementPrivate();
+            break;
+          case EpochPlanItem::Kind::Boundary:
+            // Entirely shared work; replayed in order.
+            break;
+          case EpochPlanItem::Kind::Sample: {
+            // Capture the private-side observables now; the replay
+            // pairs them with the shared store's live dynamicBytes()
+            // at exactly the serial path's device state.
+            std::uint64_t insts = 0;
+            for (unsigned c = 0; c < cfg_.numCores; ++c)
+                insts += coreInsts_[c];
+            stagedSamples_.push_back({insts, footprint_.size()});
+            break;
+          }
+        }
+    }
+    pendingReplay_ = true;
+    return more;
+}
+
+void
+System::replayEpochShared()
+{
+    if (!pendingReplay_)
+        throw std::logic_error(
+            "System::replayEpochShared: no staged epoch (call "
+            "stepEpochPrivate first)");
+    pendingReplay_ = false;
+
+    const bool timing = cfg_.phaseTimers;
+    std::size_t ev = 0;
+    std::size_t bd = 0;
+    std::size_t sample = 0;
+    std::uint64_t roundBase = 0;
+    for (const EpochPlanItem &item : plan_) {
+        switch (item.kind) {
+          case EpochPlanItem::Kind::Run: {
+            const double t0 = benchNowNs(timing);
+            // Linear scan over this chunk's slice of the staged
+            // logs.  Both are (round, core)-ordered; within a round
+            // every shared event replays before any completion, so
+            // the merge reproduces stepRounds' exact sequence.
+            const std::uint64_t end = roundBase + item.rounds;
+            while (true) {
+                const bool haveEv = ev < stagedEvents_.size() &&
+                                    stagedEvents_[ev].round < end;
+                const bool haveBd =
+                    bd < stagedBoundaries_.size() &&
+                    stagedBoundaries_[bd].round < end;
+                if (!haveEv && !haveBd)
+                    break;
+                if (haveEv &&
+                    (!haveBd || stagedEvents_[ev].round <=
+                                    stagedBoundaries_[bd].round)) {
+                    const StagedSharedEvent &e = stagedEvents_[ev];
+                    stepShared(e.core, e.addr, e.priv);
+                    ++ev;
+                } else {
+                    const StagedRequestBoundary &b =
+                        stagedBoundaries_[bd];
+                    completeRequest(b.core, b.insts, true);
+                    ++bd;
+                }
+            }
+            roundBase = end;
+            if (timing)
+                phases_.sharedNs += benchNowNs(true) - t0;
+            break;
+          }
+          case EpochPlanItem::Kind::Reset:
+            resetMeasurementShared();
+            runLastEpochNs_ = 0.0;
+            break;
+          case EpochPlanItem::Kind::Boundary:
+            epochBoundary();
+            break;
+          case EpochPlanItem::Kind::Sample: {
+            const StagedSample &s = stagedSamples_[sample++];
+            recordTimelineSample(s.insts, s.footprintPages);
+            break;
+          }
+        }
+    }
 }
 
 SimStats

@@ -313,6 +313,36 @@ class System
     SimStats finishRun();
 
     /**
+     * Rack-parallel split of stepEpoch().  stepEpochPrivate() runs
+     * the core-private half of exactly one stepEpoch() call --
+     * generator draws, L1/L2 accesses, footprint and serving-boundary
+     * staging -- and stages the shared half (L3/topology/engine/
+     * device events, the measurement reset, the epoch boundary, and
+     * timeline samples) as an ordered log.  replayEpochShared() then
+     * replays that log single-threaded, touching the shared device in
+     * exactly the order the monolithic stepEpoch() would have.
+     *
+     *   stepEpochPrivate(); replayEpochShared();
+     *
+     * is bit-identical to stepEpoch() for any config, which is what
+     * lets a rack driver run the private halves of all nodes
+     * concurrently (one thread per node) and serialize only the
+     * replays in strict node order (sim/rack.cc).  The private half
+     * touches no state(shared) structure other than this node's own
+     * footprint set (node-local; see the allow() grants), so the
+     * phase-safety lint proves the decomposition statically.
+     *
+     * @return true while more work remains (same as stepEpoch()).
+     * Each stepEpochPrivate() must be followed by exactly one
+     * replayEpochShared() before any further stepping.
+     */
+    // toleo: phase(private)
+    bool stepEpochPrivate();
+    /** Replay the staged shared half of the last stepEpochPrivate(). */
+    // toleo: phase(shared)
+    void replayEpochShared();
+
+    /**
      * External stall injection (rack mode): charge every core @p ns
      * of stall, modelling backpressure from a contended shared
      * device.  A non-positive @p ns is a strict no-op, so an
@@ -496,9 +526,75 @@ class System
     // toleo: state(shared)
     std::uint64_t epochsCompleted_ = 0;
 
+    /**
+     * One stepEpoch() call, planned ahead of execution.  The epoch
+     * control flow (chunk sizing, the warmup->measure transition,
+     * epoch-boundary detection, timeline-sample scheduling) depends
+     * only on the run-driver counters below -- never on simulated
+     * state -- so planEpoch() advances those counters and emits the
+     * ordered item list both execution paths consume: stepEpoch()
+     * executes each item directly, and the staged path runs the
+     * items' private halves (stepEpochPrivate) before replaying
+     * their shared halves (replayEpochShared).
+     */
+    struct EpochPlanItem
+    {
+        enum class Kind : std::uint8_t
+        {
+            Run,      ///< stepRounds(rounds) / stageRounds(rounds)
+            Reset,    ///< measurement reset (warmup -> measure)
+            Boundary, ///< epochBoundary()
+            Sample,   ///< record one usage-timeline point
+        };
+        Kind kind = Kind::Run;
+        /** Run only: was the run measuring during this chunk?  The
+         *  planner pre-advances runMeasuring_, so executors must use
+         *  this snapshot, not the live flag. */
+        bool measuring = false;
+        /** Run only: rounds in the chunk. */
+        std::uint64_t rounds = 0;
+    };
+    /** Plan the next epoch into plan_; @return stepEpoch()'s value. */
+    bool planEpoch();
+    std::vector<EpochPlanItem> plan_;
+    /** A staged epoch is awaiting replayEpochShared(). */
+    bool pendingReplay_ = false;
+
+    /** One flattened shared-phase event of a staged epoch: the
+     *  (round, core)-ordered stream replayEpochShared() feeds to
+     *  stepShared, round-numbered globally across the epoch's
+     *  batches. */
+    struct StagedSharedEvent
+    {
+        std::uint64_t round;
+        std::uint32_t core;
+        Addr addr;
+        PrivateAccessResult priv;
+    };
+    /** One staged request completion ((round, core)-ordered). */
+    struct StagedRequestBoundary
+    {
+        std::uint64_t round;
+        std::uint32_t core;
+        std::uint64_t insts;
+    };
+    /** Stage-time half of one timeline sample; the device-side
+     *  dynamicBytes() is read at replay time, when the shared store
+     *  is in exactly the serial path's state. */
+    struct StagedSample
+    {
+        std::uint64_t insts;
+        std::uint64_t footprintPages;
+    };
+    std::vector<StagedSharedEvent> stagedEvents_;
+    std::vector<StagedRequestBoundary> stagedBoundaries_;
+    std::vector<StagedSample> stagedSamples_;
+    /** Global round counter across one staged epoch's batches. */
+    std::uint64_t stageRoundBase_ = 0;
+
     /** Shared-state part of one reference: L3, memory, engine. */
     // toleo: phase(shared)
-    void stepShared(unsigned core, const MemRef &ref,
+    void stepShared(unsigned core, Addr addr,
                     const PrivateAccessResult &priv);
     /**
      * Run @p rounds rounds of one reference per core.  Each
@@ -508,9 +604,19 @@ class System
      * order of the original one-reference-at-a-time loop, so every
      * structure sees the exact operation sequence it always did.
      * The caller sizes @p rounds so no epoch boundary or timeline
-     * sample falls inside a batch.
+     * sample falls inside a batch.  @p measuring is the planner's
+     * snapshot of the measurement flag for this chunk.
      */
-    void stepRounds(std::uint64_t rounds);
+    void stepRounds(std::uint64_t rounds, bool measuring);
+    /**
+     * Private half of stepRounds for the staged path: the same
+     * per-core private batches, but instead of replaying the shared
+     * work it flattens the per-core event queues (and, when
+     * measuring, the staged request boundaries) into the
+     * (round, core)-ordered logs above.
+     */
+    // toleo: phase(private)
+    void stageRounds(std::uint64_t rounds, bool measuring);
     /**
      * Core-private body of one stepRounds sub-batch for one core:
      * generator draw, L1/L2 accesses, shared-event queueing, and
@@ -527,13 +633,33 @@ class System
      * core's stall clock is final for that point in time.
      */
     // toleo: phase(shared)
-    void finalizeServingRound(std::uint64_t k);
-    /** Lindley-recursion completion of one request on @p core. */
+    void finalizeServingRound(std::uint64_t k, bool measuring);
+    /**
+     * Lindley-recursion completion of one request on @p core.
+     * @p measuring is the planner's snapshot: warmup boundaries are
+     * ignored (the staged path never even stages them).
+     */
     // toleo: phase(shared)
-    void completeRequest(unsigned core, std::uint64_t instsAtDone);
+    void completeRequest(unsigned core, std::uint64_t instsAtDone,
+                         bool measuring);
     /** Zero the serving accumulators and per-core overlay state. */
     void resetServing();
     void resetMeasurement();
+    /** Measurement-reset split for the staged epoch path: the
+     *  per-core half (L1/L2 counters, instruction clocks) applies at
+     *  its position in the private pass, the shared half (L3,
+     *  topology, engine, serving accumulators, stall clocks) at the
+     *  matching position in the replay. */
+    // toleo: phase(private)
+    void resetMeasurementPrivate();
+    // toleo: phase(shared)
+    void resetMeasurementShared();
+    /** Append one usage-timeline point (Fig 12); reads the shared
+     *  store's dynamic bytes live, so the staged path calls it at
+     *  replay position with stage-captured insts/footprint. */
+    // toleo: phase(shared)
+    void recordTimelineSample(std::uint64_t insts,
+                              std::uint64_t footprintPages);
     /** Close the current traffic epoch (padding, bandwidth floor). */
     // toleo: phase(shared)
     void epochBoundary();

@@ -125,7 +125,11 @@ class ToleoDevice
 
     /** Register one more initiator; returns its id (1, 2, ...). */
     unsigned addInitiator();
-    /** Route subsequent requests (and their stats) to @p id. */
+    /** Route subsequent requests (and their stats) to @p id.
+     *  Device-global routing state: rack drivers may only switch
+     *  initiators from the serial shared sub-phase, between nodes'
+     *  replays -- never while private halves are in flight. */
+    // toleo: phase(shared)
     void setActiveInitiator(unsigned id);
     unsigned activeInitiator() const { return active_; }
     unsigned initiatorCount() const
@@ -142,7 +146,9 @@ class ToleoDevice
     {
         return initiators_[id].totalReqs;
     }
-    /** Open a new arbitration epoch: zero per-initiator counts. */
+    /** Open a new arbitration epoch: zero per-initiator counts.
+     *  Serial shared sub-phase only, like setActiveInitiator(). */
+    // toleo: phase(shared)
     void beginInitiatorEpoch();
 
     TripStore &store() { return store_; }

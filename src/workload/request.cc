@@ -24,9 +24,9 @@ arrivalKindName(ArrivalKind kind)
 
 namespace {
 
-/** Parse a strictly-positive finite double; false on any leftover. */
+/** Parse a finite double; false on any leftover (NaN/inf rejected). */
 bool
-parsePositive(const std::string &text, double &out)
+parseFinite(const std::string &text, double &out)
 {
     if (text.empty())
         return false;
@@ -34,7 +34,18 @@ parsePositive(const std::string &text, double &out)
     const double v = std::strtod(text.c_str(), &end);
     if (end != text.c_str() + text.size())
         return false;
-    if (!std::isfinite(v) || v <= 0.0)
+    if (!std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+/** Parse a strictly-positive finite double; false on any leftover. */
+bool
+parsePositive(const std::string &text, double &out)
+{
+    double v = 0.0;
+    if (!parseFinite(text, v) || v <= 0.0)
         return false;
     out = v;
     return true;
@@ -68,12 +79,25 @@ parseArrivalSpec(const std::string &spec, ArrivalConfig &out,
     }
     if (head == "burst") {
         const auto comma = tail.find(',');
+        if (comma == std::string::npos) {
+            err = "burst arrival needs a rate and a CV separated by "
+                  "a comma: burst:<req/s>,<cv>";
+            return false;
+        }
         double rate = 0.0;
+        if (!parsePositive(tail.substr(0, comma), rate)) {
+            err = "burst arrival rate must be a positive finite "
+                  "req/s value: burst:<req/s>,<cv>";
+            return false;
+        }
+        // CV = 0 is legitimate: the lognormal interarrival
+        // degenerates to the deterministic mean (same RNG draw
+        // count, so it composes with every determinism contract).
+        // Only negative and non-finite CVs have no meaning.
         double cv = 0.0;
-        if (comma == std::string::npos ||
-            !parsePositive(tail.substr(0, comma), rate) ||
-            !parsePositive(tail.substr(comma + 1), cv)) {
-            err = "burst arrival needs a positive finite rate and CV: "
+        if (!parseFinite(tail.substr(comma + 1), cv) || cv < 0.0) {
+            err = "burst arrival CV must be a finite value >= 0 "
+                  "(0 = deterministic interarrivals): "
                   "burst:<req/s>,<cv>";
             return false;
         }

@@ -294,6 +294,32 @@ TEST(LintWalk, TwoDeepChainCarriesRootContext)
         << rep.violations[0].message;
 }
 
+TEST(LintWalk, ReportNamesEveryRootInSortedOrder)
+{
+    // CI greps the summary for specific roots (the rack node-step
+    // path), so the report must carry every phase(private) root's
+    // qualified name, deterministically ordered.
+    const auto files = corpus(
+        {{"src/sys.hh",
+          "struct Sys {\n"
+          "  // toleo: phase(private)\n"
+          "  void zetaCore();\n"
+          "  // toleo: phase(private)\n"
+          "  void alphaCore();\n"
+          "};\n"
+          "void Sys::zetaCore() {}\n"
+          "void Sys::alphaCore() {}\n"
+          "// toleo: phase(private)\n"
+          "void freeRoot(Sys &sys) { sys.alphaCore(); }\n"}});
+    const PhaseReport rep = toleo_lint::analyzePhaseSafety(files);
+    EXPECT_TRUE(rep.violations.empty());
+    ASSERT_EQ(rep.roots, 3u);
+    ASSERT_EQ(rep.rootNames.size(), 3u);
+    EXPECT_EQ(rep.rootNames[0], "Sys::alphaCore");
+    EXPECT_EQ(rep.rootNames[1], "Sys::zetaCore");
+    EXPECT_EQ(rep.rootNames[2], "freeRoot");
+}
+
 TEST(LintWalk, SharedPhaseMayMutateSharedState)
 {
     const auto files = corpus(

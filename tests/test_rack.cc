@@ -7,13 +7,16 @@
  * error paths that keep a rack config honest.
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "sim/intra_pool.hh"
 #include "sim/rack.hh"
 #include "sim/sweep.hh"
 #include "sim/system.hh"
@@ -139,6 +142,191 @@ TEST(Rack, FourNodeContentionIsVisibleAndCharged)
     // touch more pages than one node's.
     EXPECT_GT(rack.sharedTouchedPages, solo.sharedTouchedPages);
     EXPECT_GT(rack.deviceGrantedBytes, solo.deviceGrantedBytes);
+}
+
+TEST(Rack, StagedEpochHalvesMatchMonolithicStep)
+{
+    // The tentpole decomposition at System level: for every epoch,
+    // stepEpochPrivate() + replayEpochShared() must be bit-identical
+    // to one stepEpoch() -- same return values, same epoch count,
+    // same final stats.  Covered for a version-heavy Toleo node and
+    // an open-loop serving node (the staged request boundaries are
+    // the subtle part).
+    for (const bool serving : {false, true}) {
+        SystemConfig cfg =
+            makeScaledConfig("memcached", EngineKind::Toleo, 2);
+        cfg.seed = 11;
+        if (serving) {
+            std::string err;
+            ASSERT_TRUE(
+                parseArrivalSpec("burst:1e6,2", cfg.arrival, err));
+        }
+
+        System mono(cfg);
+        mono.beginRun(2000, 6000);
+        System staged(cfg);
+        staged.beginRun(2000, 6000);
+
+        bool moreMono = true, moreStaged = true;
+        while (moreMono) {
+            moreMono = mono.stepEpoch();
+            moreStaged = staged.stepEpochPrivate();
+            staged.replayEpochShared();
+            ASSERT_EQ(moreMono, moreStaged) << "serving=" << serving;
+            ASSERT_EQ(mono.epochsCompleted(),
+                      staged.epochsCompleted());
+        }
+        EXPECT_EQ(dump(mono.finishRun()), dump(staged.finishRun()))
+            << "serving=" << serving;
+    }
+}
+
+TEST(Rack, StagedEpochMisuseThrows)
+{
+    SystemConfig cfg = makeScaledConfig("bsw", EngineKind::Toleo, 2);
+    // Several epochs per run window, so a staged epoch is never the
+    // run-closing one and every step below returns true.
+    cfg.epochRefs = 1000;
+    System sys(cfg);
+    sys.beginRun(1000, 2000);
+
+    // Replay with nothing staged.
+    EXPECT_THROW(sys.replayEpochShared(), std::logic_error);
+
+    // Staging (or stepping) twice without replaying in between.
+    ASSERT_TRUE(sys.stepEpochPrivate());
+    EXPECT_THROW(sys.stepEpochPrivate(), std::logic_error);
+    EXPECT_THROW(sys.stepEpoch(), std::logic_error);
+
+    // The staged epoch is still intact: replay and carry on.
+    sys.replayEpochShared();
+    EXPECT_THROW(sys.replayEpochShared(), std::logic_error);
+    EXPECT_TRUE(sys.stepEpoch());
+
+    // beginRun clears a pending replay.
+    ASSERT_TRUE(sys.stepEpochPrivate());
+    sys.beginRun(1000, 2000);
+    EXPECT_THROW(sys.replayEpochShared(), std::logic_error);
+    EXPECT_TRUE(sys.stepEpoch());
+}
+
+TEST(Rack, RackThreadsAreBitIdentical)
+{
+    // The headline determinism contract of --rack-threads: the full
+    // RackStats record (per-node sims, contention counters, device
+    // scalars) is byte-identical for any thread count, and across
+    // repeated runs of the same count.
+    const SweepOptions base = rackWindow(4);
+    SweepOptions opts = base;
+    const std::string serial =
+        rackStatsToJson(runRackSweepCell(goldenCell, opts)).dump(2);
+    for (const unsigned threads : {2u, 8u}) {
+        opts = base;
+        opts.rackThreads = threads;
+        EXPECT_EQ(
+            serial,
+            rackStatsToJson(runRackSweepCell(goldenCell, opts)).dump(2))
+            << "rackThreads=" << threads;
+    }
+    // Repeat at 8 (well past the 4-node clamp): run-to-run identity.
+    opts = base;
+    opts.rackThreads = 8;
+    EXPECT_EQ(
+        serial,
+        rackStatsToJson(runRackSweepCell(goldenCell, opts)).dump(2));
+}
+
+TEST(Rack, RackThreadsComposeWithIntraThreadsAndServing)
+{
+    // All three tiers at once -- rack workers outside, per-node intra
+    // pools inside, plus the open-loop overlay whose staged request
+    // boundaries ride the private phase -- must still reproduce the
+    // serial record byte-for-byte.
+    SweepOptions opts = rackWindow(3);
+    std::string err;
+    ASSERT_TRUE(parseArrivalSpec("poisson:2e6", opts.arrival, err));
+    const std::string serial =
+        rackStatsToJson(runRackSweepCell(goldenCell, opts)).dump(2);
+    opts.rackThreads = 3;
+    opts.intraThreads = 2;
+    EXPECT_EQ(
+        serial,
+        rackStatsToJson(runRackSweepCell(goldenCell, opts)).dump(2));
+}
+
+TEST(Rack, OneNodeRackWithRackThreadsKeepsSoloInvariant)
+{
+    // rackThreads clamps to the node count, so a 1-node rack takes
+    // the serial path and the 1-node == System::run invariant must
+    // hold no matter what was requested.
+    SystemConfig base = makeScaledConfig("bsw", EngineKind::Toleo, 2);
+    base.seed = 42;
+    RackConfig rc = makeRackConfig(1, base);
+    rc.warmupRefs = 2000;
+    rc.measureRefs = 6000;
+    rc.rackThreads = 8;
+    const RackStats rack = runRack(rc);
+
+    System solo(base);
+    EXPECT_EQ(dump(rack.nodes[0].sim), dump(solo.run(2000, 6000)));
+    EXPECT_EQ(rack.nodes[0].contentionStallNs, 0.0);
+}
+
+TEST(Rack, WorkerExceptionsPropagateToTheCaller)
+{
+    // The rack node pool is an IntraPool: a throwing node body must
+    // surface on the caller after the barrier (not terminate), and
+    // the pool must stay usable for the next epoch.
+    IntraPool pool(4);
+    std::atomic<unsigned> ran{0};
+    try {
+        pool.run(8, [&](unsigned i) {
+            if (i == 5)
+                throw std::runtime_error("node 5 failed");
+            ++ran;
+        });
+        FAIL() << "worker exception was swallowed";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "node 5 failed");
+    }
+    // Everything except the throwing index still ran exactly once.
+    EXPECT_EQ(ran.load(), 7u);
+
+    ran = 0;
+    pool.run(8, [&](unsigned) { ++ran; });
+    EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST(Rack, MixedArrivalConfigsAreRejected)
+{
+    // The rack serving aggregate is only meaningful when every node
+    // runs the same arrival model against the same SLO; anything
+    // mixed must throw instead of reporting whichever node was
+    // aggregated last (the historical bug).
+    SystemConfig base = makeScaledConfig("kvs", EngineKind::Toleo, 2);
+    std::string err;
+
+    RackConfig rc = makeRackConfig(2, base);
+    ASSERT_TRUE(
+        parseArrivalSpec("poisson:1e6", rc.nodes[0].arrival, err));
+    EXPECT_THROW(runRack(rc), std::invalid_argument); // open + closed
+
+    ASSERT_TRUE(
+        parseArrivalSpec("burst:1e6,2", rc.nodes[1].arrival, err));
+    EXPECT_THROW(runRack(rc), std::invalid_argument); // poisson+burst
+
+    ASSERT_TRUE(
+        parseArrivalSpec("poisson:1e6", rc.nodes[1].arrival, err));
+    rc.nodes[1].arrival.sloUs = rc.nodes[0].arrival.sloUs * 2;
+    EXPECT_THROW(runRack(rc), std::invalid_argument); // mixed SLO
+
+    // Different *rates* under one model are legal: they sum.
+    rc.nodes[1].arrival.sloUs = rc.nodes[0].arrival.sloUs;
+    rc.nodes[1].arrival.ratePerSec = 2e6;
+    rc.warmupRefs = 1000;
+    rc.measureRefs = 3000;
+    const RackStats rack = runRack(rc);
+    EXPECT_DOUBLE_EQ(rack.serving.offeredRatePerSec, 3e6);
 }
 
 TEST(Rack, InvalidConfigsThrow)

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -173,6 +175,75 @@ TEST(LatencyHistogram, MergeMatchesCombinedSampling)
     EXPECT_DOUBLE_EQ(a.maxNs(), all.maxNs());
     for (const double p : {0.1, 0.5, 0.9, 0.99, 1.0})
         EXPECT_DOUBLE_EQ(a.percentileNs(p), all.percentileNs(p)) << p;
+}
+
+// Property pinning merge() for the rack aggregation path: merging K
+// per-node shards into an accumulator must equal one histogram fed
+// the concatenated samples -- count, sum, min, max, and every
+// percentile.  Shard layouts deliberately cover the awkward min/max
+// cases: empty shards at the front/middle/back, a shard whose entire
+// range lies above (and one below) everything seen so far, a
+// single-sample shard, and duplicated extremes across shards.
+// Samples are integer-valued so the sums compare exactly.
+TEST(LatencyHistogram, MergingKShardsMatchesConcatenatedSamples)
+{
+    // shard -> list of integer latencies (ns); {} = empty shard.
+    const std::vector<std::vector<std::uint64_t>> shards = {
+        {},                                     // empty accumulator seed
+        {5000, 12, 777, 5000},                  // duplicates + spread
+        {3},                                    // single sample, new min
+        {},                                     // empty in the middle
+        {1'000'000, 2'000'003, 40'000'000},     // strictly above all
+        {3, 4, 5},                              // re-hits the global min
+        {9'999'999'999},                        // lone huge outlier
+        {},                                     // empty at the back
+    };
+
+    LatencyHistogram merged, all;
+    std::vector<std::uint64_t> concat;
+    for (const auto &shard : shards) {
+        LatencyHistogram h;
+        for (const std::uint64_t ns : shard) {
+            h.sample(static_cast<double>(ns));
+            concat.push_back(ns);
+        }
+        merged.merge(h);
+    }
+    for (const std::uint64_t ns : concat)
+        all.sample(static_cast<double>(ns));
+
+    ASSERT_EQ(merged.count(), all.count());
+    ASSERT_EQ(merged.count(), concat.size());
+    EXPECT_DOUBLE_EQ(merged.sumNs(), all.sumNs());
+    EXPECT_DOUBLE_EQ(merged.minNs(), all.minNs());
+    EXPECT_DOUBLE_EQ(merged.maxNs(), all.maxNs());
+    for (const double p :
+         {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(merged.percentileNs(p), all.percentileNs(p))
+            << "p=" << p;
+
+    // Merge order must not matter either (the rack loop visits nodes
+    // in index order, but nothing should depend on it).
+    LatencyHistogram reversed;
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+        LatencyHistogram h;
+        for (const std::uint64_t ns : *it)
+            h.sample(static_cast<double>(ns));
+        reversed.merge(h);
+    }
+    EXPECT_EQ(reversed.count(), all.count());
+    EXPECT_DOUBLE_EQ(reversed.sumNs(), all.sumNs());
+    EXPECT_DOUBLE_EQ(reversed.minNs(), all.minNs());
+    EXPECT_DOUBLE_EQ(reversed.maxNs(), all.maxNs());
+    for (const double p : {0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(reversed.percentileNs(p), all.percentileNs(p))
+            << "p=" << p;
+
+    // Merging an empty histogram into an empty one stays empty.
+    LatencyHistogram e1, e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.count(), 0u);
+    EXPECT_DOUBLE_EQ(e1.percentileNs(0.99), 0.0);
 }
 
 TEST(StatGroup, CountersAndRatios)

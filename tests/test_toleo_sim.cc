@@ -355,6 +355,75 @@ TEST(ToleoSimBinary, ServingGuardsFailFast)
                       " --engines Toleo"));
 }
 
+TEST(ToleoSimBinary, RackThreadsGuardsAndBitIdentity)
+{
+    const auto fails = [](const std::string &args) {
+        const std::string cmd = std::string("\"") + TOLEO_SIM_BIN +
+                                "\" " + args +
+                                " --quiet > /dev/null 2>&1";
+        return std::system(cmd.c_str()) != 0;
+    };
+    // Bad values die at the parser.
+    EXPECT_TRUE(fails("--rack 2 --rack-threads 0 --workloads bsw"
+                      " --engines Toleo"));
+    // --rack-threads without rack mode is a misuse, not a no-op.
+    EXPECT_TRUE(fails("--rack-threads 2 --workloads bsw"
+                      " --engines Toleo"));
+    EXPECT_TRUE(fails("--rack 1 --rack-threads 2 --workloads bsw"
+                      " --engines Toleo"));
+    // The oversubscription guard covers the three-way product (an
+    // explicit --jobs x --rack-threads x --threads-per-cell budget
+    // no host satisfies).
+    EXPECT_TRUE(fails("--rack 2 --rack-threads 1000 --jobs 1000"
+                      " --workloads bsw --engines Toleo"));
+    EXPECT_TRUE(fails("--rack 2 --rack-threads 500"
+                      " --threads-per-cell 500 --jobs 1000"
+                      " --workloads bsw --engines Toleo"));
+
+    // A threaded rack cell emits byte-identical *results* to the
+    // serial one (the config block differs by design: it records
+    // rackThreads), and --allow-oversubscribe lets the product
+    // through on any host.
+    const auto runRackCli = [](const std::string &extra,
+                               const std::string &out) {
+        const std::string cmd =
+            std::string("\"") + TOLEO_SIM_BIN +
+            "\" --workloads bsw --engines Toleo --rack 2 --cores 2"
+            " --warmup 500 --measure 2000 --jobs 1 --quiet " +
+            extra + " --out \"" + out + "\"";
+        return std::system(cmd.c_str());
+    };
+    const std::string serialOut =
+        ::testing::TempDir() + "/toleo_sim_rack_serial.json";
+    const std::string threadedOut =
+        ::testing::TempDir() + "/toleo_sim_rack_threaded.json";
+    ASSERT_EQ(runRackCli("--rack-threads 1", serialOut), 0);
+    ASSERT_EQ(runRackCli("--rack-threads 2 --allow-oversubscribe",
+                         threadedOut),
+              0);
+
+    const auto parse = [](const std::string &path) {
+        std::ifstream in(path);
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        Json doc = Json::parse(text.str(), &err);
+        EXPECT_TRUE(err.empty()) << path << ": " << err;
+        return doc;
+    };
+    const Json serial = parse(serialOut);
+    const Json threaded = parse(threadedOut);
+    EXPECT_EQ(serial.get("config")->get("rackThreads")->asUint(), 1u);
+    EXPECT_EQ(threaded.get("config")->get("rackThreads")->asUint(),
+              2u);
+    ASSERT_NE(serial.get("results"), nullptr);
+    ASSERT_NE(threaded.get("results"), nullptr);
+    EXPECT_EQ(serial.get("results")->dump(2),
+              threaded.get("results")->dump(2));
+    std::remove(serialOut.c_str());
+    std::remove(threadedOut.c_str());
+}
+
 TEST(ToleoSimBinary, BenchModeEmitsPerfRecord)
 {
     const std::string out =

@@ -1221,6 +1221,7 @@ class Analyzer
             if (m.phase != PhaseKind::Private)
                 continue;
             ++report_.roots;
+            report_.rootNames.push_back(kv.first);
             const FunctionInfo &f = ix_.functions[kv.second.front()];
             if (!m.hasBody && !m.isVirtual)
                 report_.warnings.push_back(

@@ -193,6 +193,11 @@ struct PhaseReport
     std::vector<PhaseIssue> warnings;
     std::size_t roots = 0;
     std::size_t functionsWalked = 0;
+    /** Qualified names of the phase(private) roots, in walk order
+     *  (functionsByQual map order, i.e. sorted).  Printed with the
+     *  summary so CI can assert that a path it cares about -- e.g.
+     *  the rack node-step root -- is actually being proven. */
+    std::vector<std::string> rootNames;
 };
 
 /** Analyze a pre-built index (files must outlive the report). */

@@ -579,6 +579,18 @@ rulePhaseSafety(const std::vector<SourceFile> &files, Linter &lint)
                     std::to_string(rep.functionsWalked) +
                     " function(s) from " + std::to_string(rep.roots) +
                     " phase(private) root(s)";
+    // Name every root so CI can assert a specific decomposition is
+    // actually being proven (e.g. the rack node-step path), rather
+    // than inferring it from a bare count.
+    if (!rep.rootNames.empty()) {
+        gPhaseSummary += " [roots: ";
+        for (std::size_t i = 0; i < rep.rootNames.size(); ++i) {
+            if (i)
+                gPhaseSummary += ", ";
+            gPhaseSummary += rep.rootNames[i];
+        }
+        gPhaseSummary += "]";
+    }
 }
 
 // ---------------------------------------------------------------------

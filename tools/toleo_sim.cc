@@ -88,7 +88,8 @@ usage(const char *argv0)
         "                    hardware threads\n"
         "  --allow-oversubscribe\n"
         "                    run anyway when an explicit --jobs x\n"
-        "                    --threads-per-cell oversubscribes the host\n"
+        "                    --rack-threads x --threads-per-cell\n"
+        "                    oversubscribes the host\n"
         "  --seed N          simulation seed (default: 42)\n"
         "  --rack N          simulate every cell as an N-node rack\n"
         "                    sharing one Toleo device (node i seeds\n"
@@ -98,6 +99,14 @@ usage(const char *argv0)
         "                    --format csv; default: 1 = single node)\n"
         "  --rack-service G  shared-device service bandwidth in GB/s\n"
         "                    (default: 0 = auto, 1.5x the node link)\n"
+        "  --rack-threads N  worker threads for the node-private half\n"
+        "                    of each rack epoch (default: 1 = the\n"
+        "                    serial node loop); the device/arbiter\n"
+        "                    replay stays serial in node order, so\n"
+        "                    statistics are bit-identical for any\n"
+        "                    value.  Composes multiplicatively with\n"
+        "                    --jobs and --threads-per-cell under the\n"
+        "                    same host-thread budget check\n"
         "  --arrival SPEC    request arrival model: 'closed' (the\n"
         "                    classic replay, default), 'poisson:RATE'\n"
         "                    or 'burst:RATE,CV' with RATE in requests\n"
@@ -134,7 +143,10 @@ usage(const char *argv0)
         "                    separated LIST, recording wall time,\n"
         "                    refs/sec, speedup, the per-phase\n"
         "                    breakdown, and stats bit-identity\n"
-        "                    across thread counts\n"
+        "                    across thread counts; the same LIST\n"
+        "                    then drives --rack-threads over a\n"
+        "                    4-node rack cell (bit-identity gated\n"
+        "                    the same way)\n"
         "  --help            this message\n",
         argv0);
 }
@@ -213,6 +225,11 @@ parseArgs(int argc, char **argv)
                 parseUint(arg, nextArg(argc, argv, i)));
             if (opts.sweep.rackNodes == 0)
                 fatal("--rack must be positive");
+        } else if (!std::strcmp(arg, "--rack-threads")) {
+            opts.sweep.rackThreads = static_cast<unsigned>(
+                parseUint(arg, nextArg(argc, argv, i)));
+            if (opts.sweep.rackThreads == 0)
+                fatal("--rack-threads must be positive");
         } else if (!std::strcmp(arg, "--rack-service")) {
             const char *text = nextArg(argc, argv, i);
             char *end = nullptr;
@@ -279,24 +296,27 @@ parseArgs(int argc, char **argv)
     // --threads-per-cell was chosen.  hardware_concurrency() may
     // return 0 (unknown); treat that as 1 and skip the guard.
     const unsigned hw = std::thread::hardware_concurrency();
+    // Per-cell threads: the rack tier multiplies in between jobs and
+    // threads-per-cell (each rack worker drives one node's private
+    // phase, and each node's System may itself pool).
+    const unsigned perCell =
+        opts.sweep.rackThreads * opts.sweep.intraThreads;
     if (!opts.jobsSet)
-        opts.sweep.jobs =
-            std::max(1u, (hw ? hw : 1) / opts.sweep.intraThreads);
+        opts.sweep.jobs = std::max(1u, (hw ? hw : 1) / perCell);
 
     // An explicit combination that oversubscribes the host thrashes
     // silently (every pool thinks it owns the machine); reject it
     // with the budget spelled out.  Plain --jobs N > hw stays legal
     // as it always was -- the check guards the new multiplicative
-    // knob.
-    if (opts.sweep.intraThreads > 1 && opts.jobsSet && hw != 0 &&
-        opts.sweep.jobs * opts.sweep.intraThreads > hw &&
-        !opts.allowOversubscribe)
-        fatal("--jobs %u x --threads-per-cell %u = %u threads "
-              "oversubscribes this host's %u hardware threads; "
-              "lower one, let --jobs auto-detect (omit it or pass "
-              "0), or pass --allow-oversubscribe",
-              opts.sweep.jobs, opts.sweep.intraThreads,
-              opts.sweep.jobs * opts.sweep.intraThreads, hw);
+    // knobs.
+    if (perCell > 1 && opts.jobsSet && hw != 0 &&
+        opts.sweep.jobs * perCell > hw && !opts.allowOversubscribe)
+        fatal("--jobs %u x --rack-threads %u x --threads-per-cell %u "
+              "= %u threads oversubscribes this host's %u hardware "
+              "threads; lower one, let --jobs auto-detect (omit it "
+              "or pass 0), or pass --allow-oversubscribe",
+              opts.sweep.jobs, opts.sweep.rackThreads,
+              opts.sweep.intraThreads, opts.sweep.jobs * perCell, hw);
     return opts;
 }
 
@@ -340,6 +360,7 @@ emitRackJson(const CliOptions &opts,
 
     Json cfg = Json::object();
     cfg["rackNodes"] = opts.sweep.rackNodes;
+    cfg["rackThreads"] = opts.sweep.rackThreads;
     cfg["cores"] = opts.sweep.cores;
     cfg["warmupRefs"] = opts.sweep.warmupRefs;
     cfg["measureRefs"] = opts.sweep.measureRefs;
@@ -492,6 +513,78 @@ runBenchBig(const CliOptions &opts)
     if (!identical)
         fatal("--bench-big: statsToJson differed across thread "
               "counts; the intra-cell pool broke determinism");
+
+    // Rack-cell companion: the same thread-count list drives
+    // --rack-threads over a 4-node rack (smaller nodes, so the
+    // section stays a smoke-scale gate).  The record pins the
+    // node-parallel epoch loop the same way the big cell pins the
+    // intra-cell pool: refs/sec per thread count for the
+    // trajectory, and a hard failure if rackStatsToJson is not
+    // bit-identical across counts.
+    {
+        SweepOptions ro;
+        ro.cores = 8;
+        ro.warmupRefs = 10000;
+        ro.measureRefs = 20000;
+        ro.seed = opts.sweep.seed;
+        ro.jobs = 1;
+        ro.rackNodes = 4;
+
+        Json rackCell = Json::object();
+        rackCell["workload"] = cell.workload;
+        rackCell["engine"] = engineKindName(cell.engine);
+        rackCell["nodes"] = ro.rackNodes;
+        rackCell["coresPerNode"] = ro.cores;
+        rackCell["warmupRefs"] = ro.warmupRefs;
+        rackCell["measureRefs"] = ro.measureRefs;
+
+        std::string rackFirstDump;
+        double rackFirstSec = 0.0;
+        bool rackIdentical = true;
+        Json rackRuns = Json::array();
+        for (const unsigned t : counts) {
+            ro.rackThreads = t;
+            // toleo-lint: allow(nondeterminism)
+            const auto t0 = std::chrono::steady_clock::now();
+            const RackStats rstats = runRackSweepCell(cell, ro);
+            const double sec =
+                std::chrono::duration<double>(
+                    // toleo-lint: allow(nondeterminism)
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            std::ostringstream dump;
+            rackStatsToJson(rstats).dump(dump, 2);
+            if (rackFirstDump.empty()) {
+                rackFirstDump = dump.str();
+                rackFirstSec = sec;
+            } else if (dump.str() != rackFirstDump) {
+                rackIdentical = false;
+            }
+
+            Json run = Json::object();
+            run["rackThreads"] = t;
+            run["wallSeconds"] = sec;
+            run["refsPerSec"] =
+                sec > 0.0 ? static_cast<double>(ro.rackNodes) *
+                                static_cast<double>(cellRefs(ro)) / sec
+                          : 0.0;
+            run["speedupVsFirst"] =
+                sec > 0.0 ? rackFirstSec / sec : 0.0;
+            rackRuns.push_back(std::move(run));
+            if (opts.progress)
+                std::fprintf(stderr,
+                             "[rack-cell] %u rack-thread%s: %.3fs\n",
+                             t, t == 1 ? "" : "s", sec);
+        }
+        rackCell["runs"] = std::move(rackRuns);
+        rackCell["bitIdentical"] = rackIdentical;
+        if (!rackIdentical)
+            fatal("--bench-big: rackStatsToJson differed across "
+                  "--rack-threads counts; the node-parallel rack "
+                  "loop broke determinism");
+        big["rackCell"] = std::move(rackCell);
+    }
     return big;
 }
 
@@ -626,6 +719,9 @@ main(int argc, char **argv)
         fatal("--bench-big extends the --bench record; pass --bench");
 
     const bool rack = opts.sweep.rackNodes > 1;
+    if (!rack && opts.sweep.rackThreads > 1)
+        fatal("--rack-threads parallelizes the rack node loop; it "
+              "requires --rack N with N > 1");
     if (rack) {
         if (opts.bench)
             fatal("--bench tracks the single-node grid; it is not "
